@@ -1,0 +1,107 @@
+"""Ablation (DESIGN.md decision 2): constraint saturation vs backtracking.
+
+Deciding SC is NP-complete; the repo ships two exact engines.  This bench
+measures both on the paper's figures and on a protocol trace, showing why
+constraint saturation is the default (orders of magnitude on real traces)
+while backtracking remains as the independent cross-check.
+"""
+
+import time
+
+from _report import report
+
+from repro.checkers import check_sc
+from repro.paperdata import figure5, figure6
+from repro.protocol import Cluster
+from repro.workloads import uniform_workload
+
+
+def protocol_trace(n_ops=60, n_clients=5, seed=8):
+    cluster = Cluster(n_clients=n_clients, n_servers=1, variant="sc", seed=seed)
+    cluster.spawn(uniform_workload(["A", "B", "C", "D"], n_ops=n_ops,
+                                   write_fraction=0.25))
+    cluster.run()
+    return cluster.history()
+
+
+def time_method(history, method):
+    start = time.perf_counter()
+    result = check_sc(history, method=method)
+    return result.satisfied, time.perf_counter() - start
+
+
+def test_constraint_vs_search(benchmark):
+    cases = {
+        "figure5 (25 ops)": figure5(),
+        "figure6 (25 ops)": figure6(),
+        "protocol trace (~400 ops)": protocol_trace(),
+    }
+
+    def run_all():
+        rows = []
+        for name, history in cases.items():
+            sat_c, t_c = time_method(history, "constraint")
+            if len(history) <= 100:
+                sat_s, t_s = time_method(history, "search")
+                assert sat_c == sat_s
+                search_time = f"{t_s * 1000:.1f}ms"
+            else:
+                search_time = "(skipped: explodes)"
+            rows.append(
+                {
+                    "history": name,
+                    "verdict": sat_c,
+                    "constraint": f"{t_c * 1000:.1f}ms",
+                    "search": search_time,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(
+        "Ablation — SC checking engines (constraint saturation vs "
+        "memoized backtracking)",
+        rows,
+        columns=["history", "verdict", "constraint", "search"],
+        notes="Both engines are exact; they agree wherever both run "
+        "(also property-tested).  Saturation scales to protocol traces.",
+    )
+
+
+def test_constraint_scales(benchmark):
+    """Time the default engine on a full protocol trace."""
+    history = protocol_trace(n_ops=60, n_clients=6, seed=9)
+    result = benchmark(lambda: check_sc(history))
+    assert result.satisfied
+
+
+def test_constraint_scaling_curve(benchmark):
+    """The saturation engine's growth across trace sizes: the per-op cost
+    must stay near-polynomial (no exponential blow-up on protocol traces,
+    despite NP-completeness of the problem)."""
+
+    def run_curve():
+        rows = []
+        for n_ops in (20, 40, 80, 160):
+            history = protocol_trace(n_ops=n_ops, n_clients=5, seed=8)
+            sat, seconds = time_method(history, "constraint")
+            assert sat
+            rows.append(
+                {
+                    "trace_ops": len(history),
+                    "check_ms": round(seconds * 1000, 1),
+                    "us_per_op": round(seconds * 1e6 / len(history), 1),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_curve, rounds=1, iterations=1)
+    # Near-polynomial: quadrupling ops must not blow cost up by > ~100x.
+    assert rows[-1]["check_ms"] < rows[0]["check_ms"] * 400 + 500
+    report(
+        "Ablation — constraint-saturation SC checker scaling on protocol traces",
+        rows,
+        columns=["trace_ops", "check_ms", "us_per_op"],
+        notes="Exact checking of an NP-complete property, kept tractable by "
+        "saturation: protocol traces resolve (almost) without branching.",
+    )

@@ -1,0 +1,66 @@
+"""Section 6: the delta-vs-cost trade-off (the paper's announced simulation).
+
+"Small values of delta require more communications overhead ... (in
+extreme cases, local caches become useless), while large values of delta
+require less expensive methods but reduce the timeliness of the
+information."
+
+Asserted shape: as delta grows, messages-per-read falls monotonically-ish
+(we allow small noise), hit ratio rises, and staleness rises; the SC
+baseline (delta = inf) is the limit of the curve.
+"""
+
+from _report import report
+
+from repro.analysis.sweep import delta_cost_sweep
+from repro.workloads import read_heavy_hotspot
+
+DELTAS = [0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0]
+
+
+def run_sweep():
+    return delta_cost_sweep(
+        DELTAS,
+        lambda: read_heavy_hotspot(n_ops=120, mean_think_time=0.08, write_fraction=0.08),
+        n_clients=6,
+        seed=11,
+    )
+
+
+def test_delta_cost_tradeoff(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    timed_rows, sc_row = rows[:-1], rows[-1]
+    hit = [row["hit_ratio"] for row in timed_rows]
+    msgs = [row["msgs_per_read"] for row in timed_rows]
+    stale = [row["mean_staleness"] for row in timed_rows]
+
+    # Endpoint comparisons (the robust shape claims).
+    assert hit[0] < hit[-1] <= sc_row["hit_ratio"] + 0.02
+    assert msgs[0] > msgs[-1] >= sc_row["msgs_per_read"] - 0.02
+    assert stale[0] < stale[-1] <= sc_row["mean_staleness"] + 1e-9
+    # Monotone trends up to small noise.
+    for a, b in zip(hit, hit[1:]):
+        assert b >= a - 0.03
+    for a, b in zip(msgs, msgs[1:]):
+        assert b <= a + 0.06
+    # Staleness is bounded by delta + round trip at every point.
+    for row in timed_rows:
+        assert row["max_staleness"] <= row["delta"] + 0.15
+
+    from repro.analysis import dual_chart
+
+    chart = dual_chart(
+        rows, label="delta", left="msgs_per_read", right="mean_staleness"
+    )
+    report(
+        "Section 6 — delta vs cost on the TSC protocol "
+        "(last row: untimed SC baseline)",
+        rows,
+        columns=[
+            "variant", "delta", "hit_ratio", "msgs_per_read", "validations",
+            "mean_staleness", "max_staleness", "stale_frac",
+        ],
+        notes="delta -> 0 approaches LIN (caches useless); "
+        "delta -> inf approaches SC (cheap but stale): Figure 4b as cost.\n"
+        + chart,
+    )

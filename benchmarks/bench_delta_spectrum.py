@@ -1,0 +1,62 @@
+"""Figure 4(b): varying delta interpolates between LIN and SC.
+
+For each paper execution we sweep delta from 0 to infinity and confirm:
+* TSC(0) == LIN and TSC(inf) == SC (the two endpoints of the figure);
+* satisfaction is monotone in delta with a single threshold delta*.
+"""
+
+import math
+
+from _report import report
+
+from repro.checkers import check_lin, check_sc, check_tsc, tsc_threshold
+from repro.paperdata import figure1, figure5, figure6
+
+EXECUTIONS = [("Figure 1", figure1), ("Figure 5", figure5), ("Figure 6", figure6)]
+
+
+def sweep_execution(history):
+    thr = tsc_threshold(history)
+    grid = [0.0]
+    if math.isfinite(thr) and thr > 0:
+        grid += [thr / 2, thr * 0.999, thr, thr * 2]
+    grid.append(math.inf)
+    return {
+        "lin": check_lin(history).satisfied,
+        "sc": check_sc(history).satisfied,
+        "threshold": thr,
+        "sweep": {delta: check_tsc(history, delta).satisfied for delta in grid},
+    }
+
+
+def run_all():
+    return {name: sweep_execution(factory()) for name, factory in EXECUTIONS}
+
+
+def test_delta_spectrum(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for name, result in results.items():
+        sweep = result["sweep"]
+        # Endpoint identities.
+        assert sweep[0.0] == result["lin"], f"{name}: TSC(0) != LIN"
+        assert sweep[math.inf] == result["sc"], f"{name}: TSC(inf) != SC"
+        # Monotone with a single threshold.
+        verdicts = [sweep[d] for d in sorted(sweep)]
+        first_true = verdicts.index(True) if True in verdicts else len(verdicts)
+        assert all(verdicts[first_true:])
+        rows.append(
+            {
+                "execution": name,
+                "LIN=TSC(0)": sweep[0.0],
+                "delta*": result["threshold"],
+                "TSC(delta*)": sweep.get(result["threshold"], result["sc"]),
+                "SC=TSC(inf)": sweep[math.inf],
+            }
+        )
+    report(
+        "Figure 4(b) — the delta spectrum: LIN (delta=0) ... SC (delta=inf)",
+        rows,
+        columns=["execution", "LIN=TSC(0)", "delta*", "TSC(delta*)", "SC=TSC(inf)"],
+        notes="delta* = inf for Figure 6: it is not SC, so no delta makes it TSC.",
+    )

@@ -1,0 +1,54 @@
+"""Figure 5: the worked SC execution and its TSC thresholds.
+
+Paper claims reproduced here (delta values are the paper's own):
+* the Figure 5(b) serialization proves SC; LIN fails;
+* TSC(50) fails because r4(C)6@436 misses w2(C)7@340;
+* TSC holds for delta > 96 (= 436 - 340);
+* TSC fails for delta < 27 via r3(B)2@301 vs w2(B)5@274.
+"""
+
+from _report import report
+
+from repro.checkers import check_lin, check_sc, check_tsc
+from repro.core import Serialization, min_timed_delta
+from repro.paperdata import figure5, figure5_serialization
+
+
+def evaluate_figure5():
+    history = figure5()
+    serialization = Serialization(figure5_serialization(history))
+    verdicts = {delta: check_tsc(history, delta).satisfied
+                for delta in (26.0, 27.0, 50.0, 96.0, 97.0)}
+    return {
+        "serialization_ok": serialization.is_legal()
+        and serialization.respects_program_order()
+        and serialization.covers(history.operations),
+        "sc": check_sc(history).satisfied,
+        "lin": check_lin(history).satisfied,
+        "tsc": verdicts,
+        "threshold": min_timed_delta(history),
+    }
+
+
+def test_figure5(benchmark):
+    result = benchmark(evaluate_figure5)
+    assert result["serialization_ok"] and result["sc"] and not result["lin"]
+    assert not result["tsc"][50.0] and not result["tsc"][26.0]
+    assert result["tsc"][96.0] and result["tsc"][97.0]
+    assert result["threshold"] == 96.0
+    rows = [
+        {"quantity": "Figure 5(b) serialization legal + program order",
+         "paper": True, "measured": result["serialization_ok"]},
+        {"quantity": "SC", "paper": True, "measured": result["sc"]},
+        {"quantity": "LIN", "paper": False, "measured": result["lin"]},
+        {"quantity": "TSC(delta=50)", "paper": False,
+         "measured": result["tsc"][50.0]},
+        {"quantity": "TSC(delta>96)", "paper": True,
+         "measured": result["tsc"][97.0]},
+        {"quantity": "TSC(delta<27)", "paper": False,
+         "measured": result["tsc"][26.0]},
+        {"quantity": "TSC threshold (436-340)", "paper": 96,
+         "measured": result["threshold"]},
+    ]
+    report("Figure 5 — SC execution, TSC thresholds", rows,
+           columns=["quantity", "paper", "measured"])

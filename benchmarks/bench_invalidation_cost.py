@@ -1,0 +1,74 @@
+"""Section 5.3 claim: invalidation cost ordering CC <= TCC <= TSC.
+
+"Under the same circumstances, this implementation of TCC tends to
+invalidate more objects than the implementation of CC presented in [39],
+but less than the implementation of TSC described in Section 5.2."
+
+We measure *freshness work* — validations plus entries demoted by the
+Context rules — for the three protocols on the same workload and seeds.
+"""
+
+from _report import report
+
+from repro.analysis.sweep import variant_comparison
+from repro.workloads import read_heavy_hotspot
+
+DELTA = 0.3
+
+
+def run_comparison(seed):
+    rows = variant_comparison(
+        lambda: read_heavy_hotspot(n_ops=120, mean_think_time=0.08, write_fraction=0.08),
+        delta=DELTA,
+        n_clients=6,
+        seed=seed,
+    )
+    for row in rows:
+        row["freshness_work"] = (
+            row["validations"] + row["invalidations"] + row["marked_old"]
+        )
+    return rows
+
+
+def test_invalidation_cost_ordering(benchmark):
+    rows = benchmark.pedantic(run_comparison, args=(11,), rounds=1, iterations=1)
+    by_variant = {row["variant"]: row for row in rows}
+    cc = by_variant["cc"]["freshness_work"]
+    tcc = by_variant["tcc"]["freshness_work"]
+    tsc = by_variant["tsc"]["freshness_work"]
+    assert cc <= tcc <= tsc, f"expected CC <= TCC <= TSC, got {cc}, {tcc}, {tsc}"
+    report(
+        f"Section 5.3 — freshness work at delta = {DELTA} "
+        "(validations + invalidations + mark-old)",
+        [
+            {
+                "variant": row["variant"],
+                "validations": row["validations"],
+                "invalidations": row["invalidations"],
+                "marked_old": row["marked_old"],
+                "freshness_work": row["freshness_work"],
+                "hit_ratio": row["hit_ratio"],
+            }
+            for row in rows
+        ],
+        columns=[
+            "variant", "validations", "invalidations", "marked_old",
+            "freshness_work", "hit_ratio",
+        ],
+        notes="Paper's ordering: CC <= TCC <= TSC.  SC shown for context.",
+    )
+
+
+def test_ordering_stable_across_seeds(benchmark):
+    def across_seeds():
+        verdicts = []
+        for seed in (3, 11, 42):
+            rows = run_comparison(seed)
+            by_variant = {row["variant"]: row["freshness_work"] for row in rows}
+            verdicts.append(
+                by_variant["cc"] <= by_variant["tcc"] <= by_variant["tsc"]
+            )
+        return verdicts
+
+    verdicts = benchmark.pedantic(across_seeds, rounds=1, iterations=1)
+    assert all(verdicts)

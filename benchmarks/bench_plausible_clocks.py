@@ -1,0 +1,78 @@
+"""Section 5.3: plausible clocks in the causal lifetime protocol.
+
+The paper allows the CC/TCC timestamps to come "from vector clocks or
+from plausible clocks [37]".  A plausible clock is constant-size but may
+order concurrent events; in the protocol that shows up as *extra*
+conservative invalidations (false "causally before" verdicts), while the
+opposite error — folding hiding a genuine supersession — could in
+principle cost causal consistency.  This bench measures both effects as a
+function of the REV clock's entry count:
+
+* freshness work vs timestamp size (precision costs messages);
+* the empirical CC-violation rate over many seeded runs (expected ~0).
+"""
+
+from _report import report
+
+from repro.checkers import check_cc
+from repro.protocol import Cluster
+from repro.workloads import uniform_workload
+
+SEEDS = range(6)
+
+
+def run_config(causal_clock, rev_entries, n_clients=4):
+    cc_ok = 0
+    freshness = 0
+    reads = 0
+    for seed in SEEDS:
+        cluster = Cluster(
+            n_clients=n_clients, n_servers=2, variant="cc", seed=seed,
+            causal_clock=causal_clock, rev_entries=rev_entries,
+        )
+        cluster.spawn(uniform_workload(["A", "B", "C"], n_ops=25,
+                                       write_fraction=0.3))
+        cluster.run()
+        if check_cc(cluster.history()).satisfied:
+            cc_ok += 1
+        stats = cluster.aggregate_stats()
+        freshness += stats.validations + stats.invalidations + stats.marked_old
+        reads += stats.reads
+    return {
+        "clock": "vector" if causal_clock == "vector" else f"REV(r={rev_entries})",
+        "timestamp_entries": n_clients if causal_clock == "vector" else rev_entries,
+        "cc_ok_runs": f"{cc_ok}/{len(list(SEEDS))}",
+        "cc_violation_rate": 1.0 - cc_ok / len(list(SEEDS)),
+        "freshness_work": freshness,
+        "freshness_per_read": round(freshness / reads, 3),
+    }
+
+
+def run_all():
+    rows = [run_config("vector", 4)]
+    for r in (4, 2, 1):
+        rows.append(run_config("rev", r))
+    return rows
+
+
+def test_plausible_clock_protocol(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    vector_row = rows[0]
+    assert vector_row["cc_violation_rate"] == 0.0  # exact clocks: always CC
+    # Folding errs in both directions: extra plausible orderings add
+    # conservative invalidations, while collapsed entries can hide
+    # staleness (fewer validations, approximate CC).  We assert only that
+    # the approximation stays usable: the violation rate never explodes.
+    for row in rows[1:]:
+        assert row["cc_violation_rate"] <= 0.5, row
+    report(
+        "Section 5.3 — vector vs plausible (REV) clocks in the CC protocol",
+        rows,
+        columns=[
+            "clock", "timestamp_entries", "cc_ok_runs", "cc_violation_rate",
+            "freshness_work", "freshness_per_read",
+        ],
+        notes="Constant-size timestamps make CC approximate: folding adds "
+        "conservative invalidations (slot tie-breaks) but can also hide "
+        "staleness (r=1 does less freshness work than exact clocks).",
+    )

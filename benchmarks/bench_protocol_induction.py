@@ -1,0 +1,73 @@
+"""Section 5 claims: each lifetime protocol variant induces its criterion.
+
+* rules 1-2 (physical) induce SC;
+* rule 3 upgrades to TSC(delta): no read is late at delta + latency slack;
+* the vector-clock variant induces CC;
+* the checking-time (beta) variant induces TCC(delta).
+
+Each verdict is computed on the protocol's recorded execution by the
+independent checkers — protocol and checker share no code paths.
+"""
+
+import math
+
+from _report import report
+
+from repro.analysis.metrics import staleness_report, timedness_report
+from repro.checkers import check_cc, check_sc
+from repro.protocol import Cluster
+from repro.workloads import uniform_workload
+
+DELTA = 0.4
+SLACK = 0.15  # write propagation + validation round trip upper bound
+
+
+def run_variant(variant, delta, seed=31):
+    cluster = Cluster(n_clients=4, n_servers=2, variant=variant, delta=delta, seed=seed)
+    cluster.spawn(uniform_workload(["A", "B", "C"], n_ops=35, write_fraction=0.25))
+    cluster.run()
+    history = cluster.history()
+    ordering_ok = (
+        check_sc(history).satisfied
+        if variant in ("sc", "tsc")
+        else check_cc(history).satisfied
+    )
+    timed = timedness_report(history, DELTA + SLACK)
+    return {
+        "variant": variant,
+        "criterion": "SC" if variant in ("sc", "tsc") else "CC",
+        "ordering_ok": ordering_ok,
+        "ops": len(history),
+        "late_at_delta+slack": timed["late_reads"] if variant in ("tsc", "tcc") else "-",
+        "max_staleness": round(staleness_report(history).maximum, 3),
+    }
+
+
+def run_all():
+    return [
+        run_variant("sc", math.inf),
+        run_variant("tsc", DELTA),
+        run_variant("cc", math.inf),
+        run_variant("tcc", DELTA),
+    ]
+
+
+def test_protocol_induction(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for row in rows:
+        assert row["ordering_ok"], f"{row['variant']} trace violates {row['criterion']}"
+    for row in rows:
+        if row["variant"] in ("tsc", "tcc"):
+            assert row["late_at_delta+slack"] == 0
+            assert row["max_staleness"] <= DELTA + SLACK
+    report(
+        "Section 5 — protocol variants induce their criteria "
+        f"(delta = {DELTA}, slack = {SLACK})",
+        rows,
+        columns=[
+            "variant", "criterion", "ordering_ok", "ops",
+            "late_at_delta+slack", "max_staleness",
+        ],
+        notes="Timed variants must additionally keep every read on time "
+        "within delta plus one protocol round trip.",
+    )

@@ -1,0 +1,69 @@
+"""Figures 2-3: one read under Definition 1 vs Definition 2.
+
+Paper claims reproduced here:
+* with perfect clocks the read misses exactly {w2, w3} (not on time);
+* with epsilon-synchronized clocks (the figure's epsilon) W_r is empty
+  (on time) — the window shrank by 2 * epsilon.
+"""
+
+from _report import report
+
+from repro.core.timed import w_r_set
+from repro.paperdata import figures2_3
+
+
+def evaluate_scenario():
+    scenario = figures2_3()
+    r = scenario.the_read
+    return {
+        "def1": sorted(w.value for w in w_r_set(scenario.history, r, scenario.delta)),
+        "def2": sorted(
+            w.value
+            for w in w_r_set(scenario.history, r, scenario.delta, scenario.epsilon)
+        ),
+        "delta": scenario.delta,
+        "epsilon": scenario.epsilon,
+    }
+
+
+def test_reading_on_time(benchmark):
+    result = benchmark(evaluate_scenario)
+    assert result["def1"] == ["v2", "v3"]
+    assert result["def2"] == []
+    report(
+        "Figures 2-3 — W_r under perfect vs epsilon-synchronized clocks",
+        [
+            {
+                "definition": "1 (perfect clocks)",
+                "W_r (paper)": "{w2, w3} -> not on time",
+                "W_r (measured)": str(result["def1"]),
+            },
+            {
+                "definition": f"2 (epsilon={result['epsilon']:g})",
+                "W_r (paper)": "{} -> on time",
+                "W_r (measured)": str(result["def2"]),
+            },
+        ],
+        columns=["definition", "W_r (paper)", "W_r (measured)"],
+        notes="The Definition-2 window is 2*epsilon shorter, exactly as Figure 3 shows.",
+    )
+
+
+def test_epsilon_window_shrinks_linearly(benchmark):
+    """Sweep epsilon and watch |W_r| drop: 2 -> 1 -> 0."""
+
+    def sweep():
+        scenario = figures2_3()
+        r = scenario.the_read
+        return {
+            eps: len(w_r_set(scenario.history, r, scenario.delta, eps))
+            for eps in (0.0, 10.0, 25.0, 40.0, 60.0)
+        }
+
+    sizes = benchmark(sweep)
+    assert sizes[0.0] == 2 and sizes[25.0] == 1 and sizes[40.0] == 0
+    report(
+        "Figures 2-3 — |W_r| as epsilon grows (delta fixed at 40)",
+        [{"epsilon": eps, "|W_r|": n} for eps, n in sizes.items()],
+        columns=["epsilon", "|W_r|"],
+    )

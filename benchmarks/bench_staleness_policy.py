@@ -1,0 +1,62 @@
+"""Ablation (DESIGN.md decision 4): invalidate vs mark-old vs push.
+
+Section 5.2: rule 3 "may generate unnecessary invalidations"; the
+optimization marks versions *old* and validates on access with an
+if-modified-since exchange, "which avoids the unnecessary sending of
+large objects"; alternatively "an asynchronous component ... may update
+old versions ... before they are accessed" (push).
+
+Measured: bytes on the wire and hit ratio per policy, same workload/seed.
+"""
+
+from _report import report
+
+from repro.analysis.sweep import policy_comparison
+from repro.workloads import read_heavy_hotspot
+
+DELTA = 0.3
+
+
+def run_policies():
+    return policy_comparison(
+        lambda: read_heavy_hotspot(n_ops=120, mean_think_time=0.08,
+                                   write_fraction=0.08),
+        variant="tsc",
+        delta=DELTA,
+        n_clients=6,
+        seed=11,
+    )
+
+
+def test_staleness_policies(benchmark):
+    rows = benchmark.pedantic(run_policies, rounds=1, iterations=1)
+    by_policy = {row["policy"]: row for row in rows}
+    invalidate = by_policy["invalidate"]
+    mark_old = by_policy["mark-old"]
+
+    # Mark-old converts full refetches into cheap validations: fewer bytes.
+    assert mark_old["bytes"] < invalidate["bytes"]
+    assert mark_old["fetches"] <= invalidate["fetches"]
+    # All policies keep the delta staleness bound.
+    for row in rows:
+        assert row["max_staleness"] <= DELTA + 0.15, row["policy"]
+
+    report(
+        f"Section 5.2 ablation — staleness handling policies (TSC, delta={DELTA})",
+        [
+            {
+                "policy": row["policy"],
+                "bytes": row["bytes"],
+                "messages": row["messages"],
+                "fetches": row["fetches"],
+                "validations": row["validations"],
+                "hit_ratio": row["hit_ratio"],
+                "max_staleness": row["max_staleness"],
+            }
+            for row in rows
+        ],
+        columns=["policy", "bytes", "messages", "fetches", "validations",
+                 "hit_ratio", "max_staleness"],
+        notes="Mark-old (if-modified-since) avoids shipping large objects; "
+        "push trades upstream bandwidth for fresher caches.",
+    )

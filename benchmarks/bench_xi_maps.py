@@ -1,0 +1,78 @@
+"""Figure 7 and Section 5.4: xi maps from logical timestamps to reals.
+
+Reproduces the paper's worked values (length of <3,4> = 5, <3,2> = 3.61,
+<2,4> = 4.47; sum of <35,4,0,72> = 111) and validates Definition 5 on a
+grid of vector timestamps for every shipped xi map.
+"""
+
+import itertools
+
+import pytest
+
+from _report import report
+
+from repro.clocks.vector import VectorTimestamp
+from repro.clocks.xi import EuclideanXi, PNormXi, SumXi, WeightedXi, validate_xi
+
+
+def paper_values():
+    euclid, total = EuclideanXi(), SumXi()
+    return {
+        "len<3,4>": euclid(VectorTimestamp((3, 4))),
+        "len<3,2>": euclid(VectorTimestamp((3, 2))),
+        "len<2,4>": euclid(VectorTimestamp((2, 4))),
+        "sum<35,4,0,72>": total(VectorTimestamp((35, 4, 0, 72))),
+    }
+
+
+def test_figure7_values(benchmark):
+    values = benchmark(paper_values)
+    assert values["len<3,4>"] == pytest.approx(5.0)
+    assert values["len<3,2>"] == pytest.approx(3.61, abs=0.01)
+    assert values["len<2,4>"] == pytest.approx(4.47, abs=0.01)
+    assert values["sum<35,4,0,72>"] == 111.0
+    report(
+        "Figure 7 — xi values on the paper's example timestamps",
+        [
+            {"quantity": "||<3,4>||", "paper": 5.0,
+             "measured": round(values["len<3,4>"], 4)},
+            {"quantity": "||<3,2>||", "paper": 3.61,
+             "measured": round(values["len<3,2>"], 4)},
+            {"quantity": "||<2,4>||", "paper": 4.47,
+             "measured": round(values["len<2,4>"], 4)},
+            {"quantity": "sum(<35,4,0,72>)", "paper": 111,
+             "measured": values["sum<35,4,0,72>"]},
+        ],
+        columns=["quantity", "paper", "measured"],
+    )
+
+
+def grid_timestamps(width=3, bound=5):
+    return [
+        VectorTimestamp(entries)
+        for entries in itertools.product(range(bound), repeat=width)
+    ]
+
+
+def test_definition5_on_grid(benchmark):
+    maps = {
+        "SumXi": SumXi(),
+        "EuclideanXi": EuclideanXi(),
+        "PNorm(1.5)": PNormXi(1.5),
+        "Weighted(2,1,0.5)": WeightedXi((2.0, 1.0, 0.5)),
+    }
+    stamps = grid_timestamps()
+
+    def validate_all():
+        return {name: validate_xi(xi, stamps) for name, xi in maps.items()}
+
+    verdicts = benchmark.pedantic(validate_all, rounds=1, iterations=1)
+    assert all(v is None for v in verdicts.values()), verdicts
+    report(
+        "Section 5.4 — Definition 5 validation over a 5^3 vector grid",
+        [
+            {"xi map": name, "Definition 5 holds": verdict is None}
+            for name, verdict in verdicts.items()
+        ],
+        columns=["xi map", "Definition 5 holds"],
+    )

@@ -1,0 +1,11 @@
+"""Benchmark-suite fixtures: reset the persisted results file once."""
+
+import pytest
+
+from _report import reset_results
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    reset_results()
+    yield

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The TSC cache protocol running on real asyncio concurrency.
+
+The other examples use the deterministic simulator; this one runs the
+same lifetime rules live — coroutine clients, a lock-protected server,
+wall-clock time, artificial latency via ``asyncio.sleep`` — and then
+checks the *recorded* execution with the same checkers.  It demonstrates
+that the protocol (not the simulator) provides the guarantees.
+
+Run:  python examples/live_asyncio.py
+"""
+
+import asyncio
+import random
+
+from repro.analysis import staleness_report
+from repro.checkers import check_sc
+from repro.core import render_timeline
+from repro.sim.aio import AioSession
+
+
+def make_workload(rounds: int, objects, seed: int):
+    async def workload(session, client):
+        rng = random.Random(seed + client.client_id)
+        for _ in range(rounds):
+            await asyncio.sleep(rng.uniform(0.001, 0.004))
+            obj = rng.choice(objects)
+            if rng.random() < 0.3:
+                await client.write(obj, session.values.next_value(client.client_id))
+            else:
+                await client.read(obj)
+
+    return workload
+
+
+def run(delta, label):
+    session = AioSession(n_clients=4, delta=delta, latency=0.001)
+    history = asyncio.run(
+        session.run(make_workload(rounds=15, objects=["x", "y", "z"], seed=7))
+    )
+    stats = session.aggregate_stats()
+    stale = staleness_report(history)
+    sc = check_sc(history)
+    print(f"\n== {label} ==")
+    print(f"  {stats.reads} reads / {stats.writes} writes across 4 live coroutines")
+    print(f"  recorded execution is SC:  {bool(sc)}")
+    print(f"  cache hit ratio:           {stats.hit_ratio:.2%}")
+    print(f"  max observed staleness:    {stale.maximum * 1000:.1f} ms")
+    return history
+
+
+def main() -> None:
+    run(delta=float("inf"), label="live SC (delta = infinity)")
+    history = run(delta=0.02, label="live TSC (delta = 20 ms)")
+    print("\nThe TSC run, as a timeline (wall-clock seconds):")
+    print(render_timeline(history, width=90))
+    print("\nSame rules, real concurrency: the checkers accept the live traces.")
+
+
+if __name__ == "__main__":
+    main()

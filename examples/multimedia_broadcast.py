@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Multimedia collaboration over delta-causal broadcast (Section 4).
+
+A small "shared session": participants stream position/voice frames via
+delta-causal multicast [7, 8].  Frames older than delta are useless to a
+real-time session, so the protocol drops them — we sweep delta and watch
+the trade-off between completeness (delivery ratio) and freshness (the
+hard latency bound), on a lossy, heavy-tailed network.
+
+Contrast with the object-based TCC protocols elsewhere in this repo:
+delta-causality *discards* late messages ("a more updated message will
+eventually be received"), while TCC *refreshes* late values on access.
+
+Run:  python examples/multimedia_broadcast.py
+"""
+
+from repro.analysis import print_table
+from repro.broadcast import run_broadcast_experiment
+
+
+def main() -> None:
+    rows = []
+    for delta in (0.02, 0.05, 0.1, 0.25, 1.0):
+        experiment = run_broadcast_experiment(
+            delta,
+            n_processes=5,
+            messages_per_process=40,
+            mean_interval=0.05,
+            seed=4,
+            drop_probability=0.05,
+        )
+        rows.append(experiment.row())
+    print_table(
+        rows,
+        columns=[
+            "delta", "delivery_ratio", "discarded_late", "expired_preds",
+            "mean_latency", "max_latency", "causal_violations",
+        ],
+        title="5 participants, 40 frames each, 5% loss, log-normal latency",
+    )
+    print()
+    print("Reading the table:")
+    print("  * causal_violations is always 0 — delivered frames never")
+    print("    appear before a delivered causal predecessor;")
+    print("  * max_latency <= delta — a frame is either fresh or dropped;")
+    print("  * delivery_ratio climbs with delta: the Figure 4(b) trade-off")
+    print("    (freshness vs completeness) in the messaging domain.")
+
+
+if __name__ == "__main__":
+    main()

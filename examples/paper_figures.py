@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Re-derive every worked example of the paper (Figures 1-7).
+
+For each figure this prints the paper's claim next to what our checkers
+compute on the encoded execution.  EXPERIMENTS.md records the same
+comparison; this script is the runnable version.
+
+Run:  python examples/paper_figures.py
+"""
+
+import math
+
+from repro.checkers import (
+    check_cc,
+    check_lin,
+    check_sc,
+    check_tcc,
+    check_tsc,
+    tsc_threshold,
+)
+from repro.clocks import EuclideanXi, SumXi, VectorTimestamp, validate_xi
+from repro.core import Serialization, min_timed_delta, w_r_set
+from repro.paperdata import (
+    FIGURE1_DELTA,
+    figure1,
+    figure5,
+    figure5_serialization,
+    figure6,
+    figure6_late_read,
+    figures2_3,
+)
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def fig1() -> None:
+    banner("Figure 1: SC and CC, not LIN, eventually not timed")
+    h = figure1()
+    print(f"  SC:  {bool(check_sc(h))}   CC: {bool(check_cc(h))}   "
+          f"LIN: {bool(check_lin(h))}")
+    print(f"  with the figure's delta = {FIGURE1_DELTA:g}:")
+    reads = sorted(h.reads, key=lambda r: r.time)
+    for r in reads:
+        missed = w_r_set(h, r, FIGURE1_DELTA)
+        status = "on time" if not missed else f"late (misses {[w.label() for w in missed]})"
+        print(f"    {r.label()}@{r.time:g}: {status}")
+    print(f"  TSC threshold of the whole execution: {tsc_threshold(h):g}")
+
+
+def fig2_3() -> None:
+    banner("Figures 2-3: one read, perfect vs epsilon-synchronized clocks")
+    scenario = figures2_3()
+    h, r = scenario.history, scenario.the_read
+    d1 = w_r_set(h, r, scenario.delta, 0.0)
+    d2 = w_r_set(h, r, scenario.delta, scenario.epsilon)
+    print(f"  delta = {scenario.delta:g}, epsilon = {scenario.epsilon:g}")
+    print(f"  Definition 1 (perfect clocks):  W_r = {[w.label() for w in d1]}"
+          f"  -> read {'on time' if not d1 else 'NOT on time'}")
+    print(f"  Definition 2 (eps-synchronized): W_r = {[w.label() for w in d2]}"
+          f"  -> read {'on time' if not d2 else 'NOT on time'}")
+    print("  (the W_r window shrank by 2*epsilon, exactly as Figure 3 shows)")
+
+
+def fig5() -> None:
+    banner("Figure 5: an SC execution and its TSC thresholds")
+    h = figure5()
+    s = Serialization(figure5_serialization(h))
+    print(f"  Figure 5(b) serialization: legal={s.is_legal()}, "
+          f"program order={s.respects_program_order()}, "
+          f"covers H={s.covers(h.operations)}")
+    print(f"  SC: {bool(check_sc(h))}   LIN: {bool(check_lin(h))}")
+    print(f"  paper: delta=50 fails (r4(C)6@436 misses w2(C)7@340); delta>96 holds;")
+    print(f"         delta<27 also fails via r3(B)2@301 vs w2(B)5@274")
+    for delta in (26, 27, 50, 96, 97):
+        print(f"    TSC(delta={delta}): {bool(check_tsc(h, delta))}")
+    print(f"  measured threshold: {min_timed_delta(h):g} (= 436 - 340)")
+
+
+def fig6() -> None:
+    banner("Figure 6: CC but not SC; TCC depends on delta")
+    h = figure6()
+    print(f"  SC: {bool(check_sc(h))}   CC: {bool(check_cc(h))}")
+    late = figure6_late_read(h)
+    missed = w_r_set(h, late, 30.0)
+    print(f"  paper: delta=30 violates TCC because {late.label()}@{late.time:g} "
+          f"ignores {[w.label() + f'@{w.time:g}' for w in missed]}")
+    print(f"    TCC(delta=30):  {bool(check_tcc(h, 30.0))}")
+    print(f"    TCC(delta=300): {bool(check_tcc(h, 300.0))}")
+    print(f"  measured TCC threshold (reconstruction-dependent): "
+          f"{min_timed_delta(h):g}")
+
+
+def fig4() -> None:
+    banner("Figure 4: the hierarchy and the delta spectrum")
+    h5, h6 = figure5(), figure6()
+    print("  LIN subset TSC subset SC subset CC; TCC subset CC; "
+          "TSC = TCC intersect SC")
+    for name, h in (("Figure 5", h5), ("Figure 6", h6)):
+        lin = bool(check_lin(h))
+        sc = bool(check_sc(h))
+        cc = bool(check_cc(h))
+        tsc_inf = bool(check_tsc(h, math.inf))
+        tsc_0 = bool(check_tsc(h, 0.0))
+        print(f"  {name}: LIN={lin} SC={sc} CC={cc} "
+              f"TSC(inf)={tsc_inf} (=SC) TSC(0)={tsc_0} (=LIN)")
+
+
+def fig7() -> None:
+    banner("Figure 7: geometric interpretation of vector clocks (xi maps)")
+    euclid, total = EuclideanXi(), SumXi()
+    t34, t32, t24 = (
+        VectorTimestamp((3, 4)),
+        VectorTimestamp((3, 2)),
+        VectorTimestamp((2, 4)),
+    )
+    print(f"  xi_length(<3,4>) = {euclid(t34):.2f}   (paper: 5)")
+    print(f"  xi_length(<3,2>) = {euclid(t32):.2f}   (paper: 3.61)")
+    print(f"  xi_length(<2,4>) = {euclid(t24):.2f}   (paper: 4.47)")
+    print(f"  xi_sum(<35,4,0,72>) = "
+          f"{total(VectorTimestamp((35, 4, 0, 72))):g} (paper: 111)")
+    stamps = [t34, t32, t24, VectorTimestamp((0, 0)), VectorTimestamp((5, 5))]
+    print(f"  Definition 5 holds for both maps on sample timestamps: "
+          f"{validate_xi(euclid, stamps) is None and validate_xi(total, stamps) is None}")
+
+
+def main() -> None:
+    fig1()
+    fig2_3()
+    fig4()
+    fig5()
+    fig6()
+    fig7()
+    print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Multi-user virtual environment: why interactive apps need timed
+consistency (Section 4 of the paper).
+
+Eight participants move their avatars and watch each other.  Under the
+plain SC protocol nothing bounds how stale an observed avatar may be; the
+same workload under TSC(delta) keeps every observation within delta (plus
+propagation latency).  The example prints the distribution of *observed
+staleness* — how old the world each participant sees is — for several
+deltas.
+
+Run:  python examples/virtual_environment.py
+"""
+
+import math
+
+from repro.analysis import print_table, staleness_report
+from repro.checkers import check_sc
+from repro.protocol import Cluster
+from repro.workloads import virtual_env_workload
+
+
+def run_world(variant: str, delta: float, seed: int = 7):
+    cluster = Cluster(
+        n_clients=8,
+        n_servers=2,
+        variant=variant,
+        delta=delta,
+        seed=seed,
+    )
+    cluster.spawn(virtual_env_workload(n_rounds=30, move_interval=0.15))
+    cluster.run()
+    return cluster
+
+
+def main() -> None:
+    rows = []
+    configs = [("sc", math.inf), ("tsc", 2.0), ("tsc", 0.5), ("tsc", 0.1)]
+    histories = {}
+    for variant, delta in configs:
+        cluster = run_world(variant, delta)
+        history = cluster.history()
+        histories[(variant, delta)] = history
+        stats = cluster.aggregate_stats()
+        stale = staleness_report(history)
+        rows.append(
+            {
+                "protocol": variant.upper()
+                + ("" if math.isinf(delta) else f"(delta={delta:g})"),
+                "observations": stats.reads,
+                "hit_ratio": stats.hit_ratio,
+                "msgs_per_obs": stats.messages_per_read,
+                "mean_staleness": stale.mean,
+                "p99_staleness": stale.percentile(0.99),
+                "max_staleness": stale.maximum,
+            }
+        )
+    print_table(
+        rows,
+        title="8 avatars, 30 rounds each: observed world staleness vs delta",
+    )
+    print()
+    print("The paper's point, measured: SC alone lets a participant watch an")
+    print("arbitrarily old world (max staleness above is unbounded by the")
+    print("protocol); TSC(delta) caps it near delta at the price of more")
+    print("validation traffic per observation.")
+
+    # Every run is still sequentially consistent, as Section 5 promises.
+    smallest = histories[("tsc", 0.1)]
+    print()
+    print(f"TSC(0.1) trace ({len(smallest)} ops) is SC: {bool(check_sc(smallest))}")
+
+
+if __name__ == "__main__":
+    main()

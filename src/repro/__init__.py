@@ -1,0 +1,34 @@
+"""repro — Timed Consistency for Shared Distributed Objects.
+
+A from-scratch reproduction of Torres-Rojas, Ahamad & Raynal, *Timed
+Consistency for Shared Distributed Objects*, PODC '99:
+
+* :mod:`repro.core` — operations, histories, serializations and *reading
+  on time* (Definitions 1, 2 and 6);
+* :mod:`repro.checkers` — LIN / SC / CC / TSC / TCC checkers, delta
+  thresholds, and the Figure 4a hierarchy;
+* :mod:`repro.clocks` — physical (epsilon-synchronized) and logical
+  (Lamport / vector / plausible) clocks plus the Section 5.4 xi maps;
+* :mod:`repro.protocol` — the lifetime-based consistency protocols of
+  Section 5, in all four variants (SC, TSC, CC, TCC);
+* :mod:`repro.sim` — the deterministic discrete-event substrate;
+* :mod:`repro.webcache` — web cache consistency (TTL / adaptive TTL /
+  invalidation / polling) analyzed as timed consistency (Section 4);
+* :mod:`repro.workloads` / :mod:`repro.analysis` — experiment drivers and
+  measurements;
+* :mod:`repro.paperdata` — the paper's worked examples (Figures 1-6).
+
+Quick start::
+
+    from repro.core import History, read, write
+    from repro.checkers import check_tsc
+
+    h = History([write(0, "x", 7, 10.0), read(1, "x", 7, 12.0)])
+    assert check_tsc(h, delta=5.0).satisfied
+"""
+
+from repro.core import History, Operation, read, write
+
+__version__ = "1.0.0"
+
+__all__ = ["History", "Operation", "__version__", "read", "write"]

@@ -1,0 +1,77 @@
+"""Plain-text table rendering for benchmark output.
+
+The benches print the same rows/series the paper's narrative reports;
+these helpers keep that output aligned and diff-friendly without pulling
+in any dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def format_cell(value: Any) -> str:
+    """Render one value compactly (floats to 4 significant digits)."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        if abs(value) >= 1000 or (0 < abs(value) < 0.001):
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[List[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict-rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = columns or list(rows[0].keys())
+    cells = [[format_cell(row.get(col, "")) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells)) for i, col in enumerate(cols)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[List[str]] = None,
+    title: Optional[str] = None,
+) -> None:
+    """Print dict-rows as an aligned ASCII table (blank line first)."""
+    print()
+    print(render_table(rows, columns, title))
+
+
+def write_csv(
+    rows: Sequence[Dict[str, Any]],
+    path: str,
+    columns: Optional[List[str]] = None,
+) -> None:
+    """Write dict-rows as CSV (for external plotting of sweep results)."""
+    import csv
+
+    if not rows:
+        raise ValueError("no rows to write")
+    cols = columns or list(rows[0].keys())
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=cols, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({col: row.get(col, "") for col in cols})

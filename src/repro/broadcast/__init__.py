@@ -1,0 +1,28 @@
+"""Delta-causal broadcast (Section 4's comparison point, refs [7, 8])."""
+
+from repro.broadcast.delta_causal import (
+    BroadcastStats,
+    DeliveryRecord,
+    DeltaCausalProcess,
+    Multicast,
+    causal_violations,
+)
+from repro.broadcast.harness import BroadcastExperiment, run_broadcast_experiment
+from repro.broadcast.replicated_store import (
+    ReplicatedStoreProcess,
+    ReplicatedStoreResult,
+    run_replicated_store,
+)
+
+__all__ = [
+    "BroadcastExperiment",
+    "BroadcastStats",
+    "DeliveryRecord",
+    "DeltaCausalProcess",
+    "Multicast",
+    "ReplicatedStoreProcess",
+    "ReplicatedStoreResult",
+    "causal_violations",
+    "run_broadcast_experiment",
+    "run_replicated_store",
+]

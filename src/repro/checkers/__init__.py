@@ -1,0 +1,117 @@
+"""Consistency checkers: LIN, SC, CC and the paper's TSC/TCC.
+
+Quick start::
+
+    from repro.core import History, read, write
+    from repro.checkers import check_sc, check_tsc
+
+    h = History([
+        write(0, "X", 7, 10.0),
+        read(1, "X", 7, 200.0),
+    ])
+    assert check_sc(h)
+    assert check_tsc(h, delta=250.0)
+"""
+
+from repro.checkers.cc import check_cc
+from repro.checkers.hierarchy import (
+    CONTAINMENTS,
+    Classification,
+    census,
+    classify,
+    hierarchy_violations,
+    lin_equals_tsc_zero,
+    sc_equals_tsc_infinity,
+)
+from repro.checkers.extensions import (
+    check_coherence,
+    check_pram,
+    check_processor,
+    check_timed,
+)
+from repro.checkers.lin import check_interval_linearizability, check_lin
+from repro.checkers.online import (
+    MonitorStats,
+    OnlineTimedMonitor,
+    ReadVerdict,
+    ReorderingMonitor,
+)
+from repro.checkers.result import CheckResult, SearchBudgetExceeded
+from repro.checkers.sc import check_sc
+from repro.checkers.search import (
+    DEFAULT_BUDGET,
+    SearchStats,
+    find_serialization,
+    find_site_ordered_serialization,
+    restrict_edges,
+)
+from repro.checkers.sessions import (
+    SessionViolation,
+    satisfies_session_guarantees,
+    session_guarantee_report,
+)
+from repro.checkers.tcc import check_tcc, check_tcc_direct, check_tcc_logical
+from repro.checkers.transactions import (
+    Transaction,
+    check_serializability,
+    check_strict_serializability,
+    singleton_transactions,
+    transaction,
+)
+from repro.checkers.threshold import (
+    ThresholdReport,
+    delta_spectrum,
+    tcc_logical_threshold,
+    tcc_threshold,
+    threshold_report,
+    tsc_threshold,
+)
+from repro.checkers.tsc import check_tsc, check_tsc_direct
+
+__all__ = [
+    "CONTAINMENTS",
+    "CheckResult",
+    "Classification",
+    "DEFAULT_BUDGET",
+    "MonitorStats",
+    "OnlineTimedMonitor",
+    "ReadVerdict",
+    "ReorderingMonitor",
+    "SearchBudgetExceeded",
+    "SearchStats",
+    "SessionViolation",
+    "ThresholdReport",
+    "Transaction",
+    "census",
+    "check_cc",
+    "check_coherence",
+    "check_interval_linearizability",
+    "check_lin",
+    "check_pram",
+    "check_processor",
+    "check_sc",
+    "check_serializability",
+    "check_strict_serializability",
+    "check_tcc",
+    "check_tcc_direct",
+    "check_tcc_logical",
+    "check_timed",
+    "check_tsc",
+    "check_tsc_direct",
+    "classify",
+    "delta_spectrum",
+    "find_serialization",
+    "find_site_ordered_serialization",
+    "hierarchy_violations",
+    "lin_equals_tsc_zero",
+    "restrict_edges",
+    "satisfies_session_guarantees",
+    "sc_equals_tsc_infinity",
+    "session_guarantee_report",
+    "singleton_transactions",
+    "tcc_logical_threshold",
+    "tcc_threshold",
+    "threshold_report",
+    "transaction",
+    "tsc_threshold",
+]

@@ -1,0 +1,152 @@
+"""The consistency hierarchy of Figure 4a, checked empirically.
+
+The paper proves (as execution sets, for any fixed delta):
+
+    LIN  subset-of  TSC  subset-of  SC  subset-of  CC
+    TCC  subset-of  CC
+    TCC  intersect  SC  ==  TSC
+
+:func:`classify` evaluates all five criteria on one execution;
+:func:`hierarchy_violations` returns every containment broken by a
+classification (always empty if the checkers are correct — this is both a
+test invariant and the Figure 4a bench).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.checkers.cc import check_cc
+from repro.checkers.lin import check_lin
+from repro.checkers.sc import check_sc
+from repro.checkers.search import DEFAULT_BUDGET
+from repro.checkers.tcc import check_tcc
+from repro.checkers.tsc import check_tsc
+from repro.core.history import History
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Verdicts of the five criteria on one execution for one delta."""
+
+    lin: bool
+    sc: bool
+    cc: bool
+    tsc: bool
+    tcc: bool
+    delta: float
+    epsilon: float = 0.0
+
+    def region(self) -> str:
+        """A short label for the Venn region of Figure 4a this falls in."""
+        tags = []
+        for name, ok in (
+            ("LIN", self.lin),
+            ("TSC", self.tsc),
+            ("SC", self.sc),
+            ("TCC", self.tcc),
+            ("CC", self.cc),
+        ):
+            if ok:
+                tags.append(name)
+        return "+".join(tags) if tags else "none"
+
+
+def classify(
+    history: History,
+    delta: float,
+    epsilon: float = 0.0,
+    budget: int = DEFAULT_BUDGET,
+) -> Classification:
+    """Evaluate LIN, SC, CC, TSC(delta), TCC(delta) on one execution."""
+    return Classification(
+        lin=check_lin(history, budget=budget).satisfied,
+        sc=check_sc(history, budget=budget).satisfied,
+        cc=check_cc(history, budget=budget).satisfied,
+        tsc=check_tsc(history, delta, epsilon, budget=budget).satisfied,
+        tcc=check_tcc(history, delta, epsilon, budget=budget).satisfied,
+        delta=delta,
+        epsilon=epsilon,
+    )
+
+
+#: The containments of Figure 4a, as (subset, superset) criterion names.
+CONTAINMENTS = [
+    ("lin", "tsc"),
+    ("tsc", "sc"),
+    ("sc", "cc"),
+    ("tcc", "cc"),
+    ("lin", "sc"),
+    ("lin", "cc"),
+    ("tsc", "cc"),
+    ("tsc", "tcc"),  # TSC = TCC intersect SC, so TSC subset-of TCC
+]
+
+
+def hierarchy_violations(classification: Classification) -> List[str]:
+    """Names of Figure 4a containments this classification violates.
+
+    Also checks the identity ``TSC == TCC and SC``.  Empty list == the
+    execution is consistent with the paper's hierarchy.
+
+    Note the LIN containments only hold for Definition-1 timedness
+    (epsilon == 0); with epsilon > 0 LIN remains defined on true effective
+    times while TSC weakens, so LIN subset-of TSC still holds — a larger
+    epsilon only enlarges TSC.
+    """
+    verdicts: Dict[str, bool] = {
+        "lin": classification.lin,
+        "sc": classification.sc,
+        "cc": classification.cc,
+        "tsc": classification.tsc,
+        "tcc": classification.tcc,
+    }
+    out: List[str] = []
+    for small, big in CONTAINMENTS:
+        if verdicts[small] and not verdicts[big]:
+            out.append(f"{small.upper()} holds but {big.upper()} does not")
+    if (verdicts["tcc"] and verdicts["sc"]) != verdicts["tsc"]:
+        out.append("TSC != (TCC and SC)")
+    return out
+
+
+def census(
+    histories: Iterable[History],
+    delta: float,
+    epsilon: float = 0.0,
+    budget: int = DEFAULT_BUDGET,
+) -> Dict[str, int]:
+    """Count how many executions land in each Figure 4a region, plus any
+    hierarchy violations (expected 0) — the bench prints this table."""
+    counts: Dict[str, int] = {}
+    violations = 0
+    for history in histories:
+        cls = classify(history, delta, epsilon, budget)
+        counts[cls.region()] = counts.get(cls.region(), 0) + 1
+        if hierarchy_violations(cls):
+            violations += 1
+    counts["__hierarchy_violations__"] = violations
+    return counts
+
+
+def lin_equals_tsc_zero(
+    history: History, budget: int = DEFAULT_BUDGET
+) -> bool:
+    """Check the paper's claim that TSC(delta=0) coincides with LIN on this
+    execution (Section 3: "when delta is 0, timed consistency becomes
+    LIN")."""
+    lin = check_lin(history, budget=budget).satisfied
+    tsc0 = check_tsc(history, 0.0, 0.0, budget=budget).satisfied
+    return lin == tsc0
+
+
+def sc_equals_tsc_infinity(
+    history: History, budget: int = DEFAULT_BUDGET
+) -> bool:
+    """Check that TSC(delta=inf) coincides with SC on this execution
+    (Figure 4b's right end)."""
+    sc = check_sc(history, budget=budget).satisfied
+    tsc_inf = check_tsc(history, math.inf, 0.0, budget=budget).satisfied
+    return sc == tsc_inf

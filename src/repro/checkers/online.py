@@ -1,0 +1,191 @@
+"""Online timedness monitoring: flag late reads as they happen.
+
+The offline checkers need the whole history; this monitor consumes
+operations *in effective-time order* as a stream (e.g. tee'd from a live
+system) and reports, immediately at each read, whether it occurred on
+time — the Definition 1/2 check, evaluated incrementally.
+
+It can answer at read time because ``W_r`` only contains writes with
+``T(w') < T(r) - delta``: all strictly in the past by more than delta, so
+already seen.  The monitor also tracks the running timedness threshold
+(the delta the stream would need so far).
+
+    monitor = OnlineTimedMonitor(delta=0.5)
+    for op in operation_stream:          # non-decreasing op.time
+        verdict = monitor.observe(op)
+        if verdict is not None and not verdict.on_time:
+            alert(verdict)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.operations import Operation
+
+
+@dataclass(frozen=True)
+class ReadVerdict:
+    """The monitor's judgement of one read."""
+
+    read: Operation
+    on_time: bool
+    #: Writes the read should have seen (label, time) — empty if on time.
+    missed: Tuple[Tuple[str, float], ...] = ()
+    #: Smallest delta that would have made this read on time.
+    required_delta: float = 0.0
+
+
+@dataclass
+class MonitorStats:
+    reads: int = 0
+    writes: int = 0
+    late_reads: int = 0
+    threshold: float = 0.0
+    late_by_object: Dict[str, int] = field(default_factory=dict)
+
+
+class OnlineTimedMonitor:
+    """Incremental Definition-1/2 checking over an operation stream."""
+
+    def __init__(
+        self,
+        delta: float,
+        epsilon: float = 0.0,
+        initial_value: Any = 0,
+    ) -> None:
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+        self.delta = delta
+        self.epsilon = epsilon
+        self.initial_value = initial_value
+        self.stats = MonitorStats()
+        self._writes: Dict[str, List[Operation]] = {}
+        self._writer_by_value: Dict[Tuple[str, Any], Operation] = {}
+        self._last_time = -math.inf
+
+    def observe(self, op: Operation) -> Optional[ReadVerdict]:
+        """Feed the next operation; returns a verdict for reads.
+
+        Operations must arrive in non-decreasing effective-time order.
+        """
+        if op.time < self._last_time:
+            raise ValueError(
+                f"out-of-order operation: {op!r} at {op.time} after "
+                f"time {self._last_time}"
+            )
+        self._last_time = op.time
+        if op.is_write:
+            self.stats.writes += 1
+            key = (op.obj, op.value)
+            if key in self._writer_by_value:
+                raise ValueError(
+                    f"duplicate written value {op.value!r} for {op.obj} "
+                    "(the model assumes unique written values)"
+                )
+            self._writer_by_value[key] = op
+            self._writes.setdefault(op.obj, []).append(op)
+            return None
+        return self._judge_read(op)
+
+    def _judge_read(self, op: Operation) -> ReadVerdict:
+        self.stats.reads += 1
+        writer = self._writer_by_value.get((op.obj, op.value))
+        if writer is None and op.value != self.initial_value:
+            raise ValueError(
+                f"{op.label()} returns a value never written and different "
+                f"from the initial value {self.initial_value!r}"
+            )
+        t_w = -math.inf if writer is None else writer.time
+        missed: List[Tuple[str, float]] = []
+        required = 0.0
+        for cand in self._writes.get(op.obj, ()):
+            if cand is writer:
+                continue
+            if t_w + self.epsilon < cand.time:
+                bound = op.time - cand.time - self.epsilon
+                required = max(required, bound)
+                if self.delta < bound:
+                    missed.append((cand.label(), cand.time))
+        self.stats.threshold = max(self.stats.threshold, required)
+        on_time = not missed
+        if not on_time:
+            self.stats.late_reads += 1
+            self.stats.late_by_object[op.obj] = (
+                self.stats.late_by_object.get(op.obj, 0) + 1
+            )
+        return ReadVerdict(
+            read=op,
+            on_time=on_time,
+            missed=tuple(missed),
+            required_delta=required,
+        )
+
+    def observe_all(self, operations) -> List[ReadVerdict]:
+        """Feed a whole pre-sorted iterable; returns the read verdicts."""
+        out = []
+        for op in operations:
+            verdict = self.observe(op)
+            if verdict is not None:
+                out.append(verdict)
+        return out
+
+    @property
+    def late_fraction(self) -> float:
+        if not self.stats.reads:
+            return 0.0
+        return self.stats.late_reads / self.stats.reads
+
+
+class ReorderingMonitor:
+    """Adapter for streams that are not in effective-time order.
+
+    Real systems emit operations at *completion* time, but a write's
+    effective time (its install instant) precedes its ack; feeding such a
+    stream to :class:`OnlineTimedMonitor` directly would raise.  This
+    wrapper buffers operations and releases them in effective-time order
+    once the stream's watermark (the caller's current time) has passed
+    ``op.time + horizon`` — ``horizon`` being an upper bound on how late
+    an operation can surface (one round trip in the simulator's terms).
+
+        buffered = ReorderingMonitor(OnlineTimedMonitor(delta=0.5), horizon=0.2)
+        buffered.push(op, now=sim.now)   # any arrival order
+        ...
+        verdicts = buffered.flush()      # at end of stream
+    """
+
+    def __init__(self, monitor: OnlineTimedMonitor, horizon: float) -> None:
+        if horizon < 0:
+            raise ValueError(f"horizon must be non-negative, got {horizon}")
+        self.monitor = monitor
+        self.horizon = horizon
+        self._buffer: List[Operation] = []
+        self.verdicts: List[ReadVerdict] = []
+
+    def push(self, op: Operation, now: float) -> List[ReadVerdict]:
+        """Buffer ``op`` and process everything older than the watermark.
+
+        Returns the verdicts newly produced by this call.
+        """
+        self._buffer.append(op)
+        return self._drain(now - self.horizon)
+
+    def _drain(self, watermark: float) -> List[ReadVerdict]:
+        self._buffer.sort(key=lambda o: (o.time, o.uid))
+        released: List[ReadVerdict] = []
+        while self._buffer and self._buffer[0].time <= watermark:
+            verdict = self.monitor.observe(self._buffer.pop(0))
+            if verdict is not None:
+                released.append(verdict)
+        self.verdicts.extend(released)
+        return released
+
+    def flush(self) -> List[ReadVerdict]:
+        """Process every remaining buffered operation (end of stream) and
+        return all verdicts produced over the monitor's lifetime."""
+        self._drain(math.inf)
+        return self.verdicts

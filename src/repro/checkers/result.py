@@ -1,0 +1,55 @@
+"""Result types shared by all consistency checkers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.operations import Operation
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a consistency check.
+
+    ``satisfied`` is the verdict.  When the criterion holds, ``witness``
+    holds a serialization proving it (for the serial criteria) and
+    ``site_witnesses`` the per-site serializations (for the causal
+    criteria).  When it fails, ``violation`` is a human-readable reason —
+    for the timed criteria this names the late read and its ``W_r``.
+    ``states_explored`` reports search effort (for the ablation benches).
+    """
+
+    criterion: str
+    satisfied: bool
+    witness: Optional[List[Operation]] = None
+    site_witnesses: Optional[Dict[int, List[Operation]]] = None
+    violation: Optional[str] = None
+    states_explored: int = 0
+    parameters: Dict[str, float] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.satisfied
+
+    def __repr__(self) -> str:
+        verdict = "SATISFIED" if self.satisfied else "VIOLATED"
+        params = ", ".join(f"{k}={v:g}" for k, v in self.parameters.items())
+        suffix = f" ({params})" if params else ""
+        return f"<{self.criterion}{suffix}: {verdict}>"
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """The serialization search exceeded its state budget.
+
+    Deciding SC is NP-complete (footnote 2 of the paper cites
+    Gharachorloo & Gibbons and Taylor), so the checkers carry an explicit
+    state budget instead of silently running forever.  Catching this means
+    "unknown", not "violated".
+    """
+
+    def __init__(self, budget: int) -> None:
+        super().__init__(
+            f"serialization search exceeded its budget of {budget} states; "
+            "the history is too adversarial for exact checking"
+        )
+        self.budget = budget

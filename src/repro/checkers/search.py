@@ -1,0 +1,252 @@
+"""Memoized backtracking search for legal constrained serializations.
+
+This is the engine under the SC/CC/TSC/TCC checkers.  The problem — does a
+legal serialization of a set of operations exist that respects a given
+partial order? — is NP-complete in general (paper footnote 2), so we use
+exact backtracking with two standard accelerations:
+
+* **memoization of failed states**: a state is the pair (set of scheduled
+  operations, last written value per object); if a state failed once it
+  will fail again regardless of how it was reached;
+* **a time-ordered branching heuristic**: candidates are tried in effective
+  time order, which finds the witness quickly on the overwhelmingly common
+  "almost linearizable" histories produced by real protocols.
+
+Two entry points:
+
+* :func:`find_serialization` — generic: constraints given as explicit
+  predecessor edges (used for causal consistency, where the order is an
+  arbitrary DAG);
+* :func:`find_site_ordered_serialization` — specialized for program-order
+  constraints (used for SC): the state collapses to a vector of per-site
+  indices, which both shrinks memo keys and guarantees the scheduled set is
+  a function of the indices.
+
+Both accept a ``read_filter`` predicate so the timed checkers can run the
+*direct* Definition-3/4 search (reject scheduling a read that would not be
+on time) — the fast path instead uses the decomposition documented in
+:mod:`repro.core.timed`, and the tests cross-validate the two.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.checkers.result import SearchBudgetExceeded
+from repro.core.history import DEFAULT_INITIAL_VALUE
+from repro.core.operations import Operation
+
+#: Default cap on distinct search states before giving up.
+DEFAULT_BUDGET = 2_000_000
+
+#: ``read_filter(read_op, writer_or_None) -> bool``: may this read be
+#: scheduled reading from that writer?
+ReadFilter = Callable[[Operation, Optional[Operation]], bool]
+
+
+class SearchStats:
+    """Mutable counter shared across a search invocation."""
+
+    __slots__ = ("states", "budget")
+
+    def __init__(self, budget: int) -> None:
+        self.states = 0
+        self.budget = budget
+
+    def bump(self) -> None:
+        self.states += 1
+        if self.states > self.budget:
+            raise SearchBudgetExceeded(self.budget)
+
+
+def find_serialization(
+    operations: Sequence[Operation],
+    predecessor_edges: Dict[Operation, Set[Operation]],
+    initial_value: Any = DEFAULT_INITIAL_VALUE,
+    read_filter: Optional[ReadFilter] = None,
+    budget: int = DEFAULT_BUDGET,
+    stats: Optional[SearchStats] = None,
+) -> Optional[List[Operation]]:
+    """Find a legal serialization of ``operations`` respecting the edges.
+
+    ``predecessor_edges[b]`` is the set of operations that must precede
+    ``b`` (edges to operations outside ``operations`` are ignored).
+    Returns the serialization, or ``None`` if none exists.
+    Raises :class:`SearchBudgetExceeded` past the state budget.
+    """
+    ops = sorted(operations, key=lambda op: (op.time, op.uid))
+    opset = {op.uid for op in ops}
+    preds: Dict[int, FrozenSet[int]] = {
+        op.uid: frozenset(
+            p.uid for p in predecessor_edges.get(op, ()) if p.uid in opset
+        )
+        for op in ops
+    }
+    by_uid = {op.uid: op for op in ops}
+    if stats is None:
+        stats = SearchStats(budget)
+    failed: Set[Tuple[FrozenSet[int], Tuple[Tuple[str, Any], ...]]] = set()
+    last_writer: Dict[str, Optional[Operation]] = {}
+
+    def last_value_key(last_vals: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+        return tuple(sorted(last_vals.items()))
+
+    def dfs(
+        scheduled: FrozenSet[int],
+        sequence: List[Operation],
+        last_vals: Dict[str, Any],
+    ) -> Optional[List[Operation]]:
+        if len(sequence) == len(ops):
+            return list(sequence)
+        key = (scheduled, last_value_key(last_vals))
+        if key in failed:
+            return None
+        stats.bump()
+        for op in ops:
+            if op.uid in scheduled:
+                continue
+            if not preds[op.uid] <= scheduled:
+                continue
+            if op.is_read:
+                expected = last_vals.get(op.obj, initial_value)
+                if op.value != expected:
+                    continue
+                if read_filter is not None and not read_filter(
+                    op, last_writer.get(op.obj)
+                ):
+                    continue
+                sequence.append(op)
+                result = dfs(scheduled | {op.uid}, sequence, last_vals)
+                if result is not None:
+                    return result
+                sequence.pop()
+            else:
+                prev_val = last_vals.get(op.obj, _MISSING)
+                prev_writer = last_writer.get(op.obj)
+                last_vals[op.obj] = op.value
+                last_writer[op.obj] = op
+                sequence.append(op)
+                result = dfs(scheduled | {op.uid}, sequence, last_vals)
+                if result is not None:
+                    return result
+                sequence.pop()
+                if prev_val is _MISSING:
+                    del last_vals[op.obj]
+                else:
+                    last_vals[op.obj] = prev_val
+                last_writer[op.obj] = prev_writer
+        failed.add(key)
+        return None
+
+    _ = by_uid  # kept for debuggability in tracebacks
+    return dfs(frozenset(), [], {})
+
+
+_MISSING = object()
+
+
+def find_site_ordered_serialization(
+    site_sequences: Dict[int, List[Operation]],
+    initial_value: Any = DEFAULT_INITIAL_VALUE,
+    read_filter: Optional[ReadFilter] = None,
+    budget: int = DEFAULT_BUDGET,
+    stats: Optional[SearchStats] = None,
+) -> Optional[List[Operation]]:
+    """Find a legal serialization respecting each site's program order.
+
+    Specialized for SC/TSC: the scheduled set is fully described by the
+    per-site indices, so the memo key is (index vector, last values).
+    """
+    sites = sorted(site_sequences)
+    seqs = [site_sequences[s] for s in sites]
+    total = sum(len(seq) for seq in seqs)
+    if stats is None:
+        stats = SearchStats(budget)
+    failed: Set[Tuple[Tuple[int, ...], Tuple[Tuple[str, Any], ...]]] = set()
+    last_writer: Dict[str, Optional[Operation]] = {}
+
+    def last_value_key(last_vals: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+        return tuple(sorted(last_vals.items()))
+
+    def candidate_order(indices: Tuple[int, ...]) -> List[int]:
+        """Site indices with a pending op, earliest effective time first."""
+        pending = [
+            (seqs[k][indices[k]].time, k)
+            for k in range(len(seqs))
+            if indices[k] < len(seqs[k])
+        ]
+        pending.sort()
+        return [k for _, k in pending]
+
+    def dfs(
+        indices: Tuple[int, ...],
+        sequence: List[Operation],
+        last_vals: Dict[str, Any],
+    ) -> Optional[List[Operation]]:
+        if len(sequence) == total:
+            return list(sequence)
+        key = (indices, last_value_key(last_vals))
+        if key in failed:
+            return None
+        stats.bump()
+        for k in candidate_order(indices):
+            op = seqs[k][indices[k]]
+            next_indices = indices[:k] + (indices[k] + 1,) + indices[k + 1 :]
+            if op.is_read:
+                expected = last_vals.get(op.obj, initial_value)
+                if op.value != expected:
+                    continue
+                if read_filter is not None and not read_filter(
+                    op, last_writer.get(op.obj)
+                ):
+                    continue
+                sequence.append(op)
+                result = dfs(next_indices, sequence, last_vals)
+                if result is not None:
+                    return result
+                sequence.pop()
+            else:
+                prev_val = last_vals.get(op.obj, _MISSING)
+                prev_writer = last_writer.get(op.obj)
+                last_vals[op.obj] = op.value
+                last_writer[op.obj] = op
+                sequence.append(op)
+                result = dfs(next_indices, sequence, last_vals)
+                if result is not None:
+                    return result
+                sequence.pop()
+                if prev_val is _MISSING:
+                    del last_vals[op.obj]
+                else:
+                    last_vals[op.obj] = prev_val
+                last_writer[op.obj] = prev_writer
+        failed.add(key)
+        return None
+
+    start = tuple(0 for _ in seqs)
+    return dfs(start, [], {})
+
+
+def restrict_edges(
+    pairs: Iterable[Tuple[Operation, Operation]],
+    operations: Sequence[Operation],
+) -> Dict[Operation, Set[Operation]]:
+    """Turn (a, b) order pairs into a predecessor map over ``operations``."""
+    keep = {op.uid for op in operations}
+    by_uid = {op.uid: op for op in operations}
+    preds: Dict[Operation, Set[Operation]] = {op: set() for op in operations}
+    for a, b in pairs:
+        if a.uid in keep and b.uid in keep:
+            preds[by_uid[b.uid]].add(by_uid[a.uid])
+    return preds

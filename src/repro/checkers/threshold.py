@@ -1,0 +1,124 @@
+"""Delta thresholds: where on Figure 4b's spectrum an execution sits.
+
+Figure 4b shows TSC interpolating between LIN (delta = 0) and SC
+(delta = infinity).  For a fixed execution the interesting quantity is the
+*threshold* delta*: the smallest delta for which the execution satisfies
+TSC (respectively TCC).  Because timedness decomposes (see
+:mod:`repro.core.timed`), delta* equals ``min_timed_delta`` when the
+untimed criterion (SC/CC) holds, and no delta works when it does not.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.checkers.cc import check_cc
+from repro.checkers.sc import check_sc
+from repro.checkers.search import DEFAULT_BUDGET
+from repro.clocks.xi import XiMap
+from repro.core.history import History
+from repro.core.timed import min_timed_delta, min_timed_delta_logical
+
+
+@dataclass
+class ThresholdReport:
+    """Thresholds of one execution along the delta spectrum.
+
+    ``tsc_threshold``/``tcc_threshold`` are the smallest delta satisfying
+    the criterion, ``math.inf`` when no finite delta works because the
+    untimed base criterion (SC/CC) already fails.  ``timed_threshold`` is
+    the smallest delta making every read on time regardless of ordering.
+    """
+
+    timed_threshold: float
+    sc_holds: bool
+    cc_holds: bool
+    tsc_threshold: float
+    tcc_threshold: float
+    epsilon: float = 0.0
+
+    def satisfies_tsc(self, delta: float) -> bool:
+        return self.sc_holds and delta >= self.tsc_threshold
+
+    def satisfies_tcc(self, delta: float) -> bool:
+        return self.cc_holds and delta >= self.tcc_threshold
+
+
+def threshold_report(
+    history: History,
+    epsilon: float = 0.0,
+    budget: int = DEFAULT_BUDGET,
+) -> ThresholdReport:
+    """Compute the full threshold report for one execution."""
+    timed_thr = min_timed_delta(history, epsilon)
+    sc = check_sc(history, budget=budget)
+    cc = check_cc(history, budget=budget)
+    return ThresholdReport(
+        timed_threshold=timed_thr,
+        sc_holds=sc.satisfied,
+        cc_holds=cc.satisfied,
+        tsc_threshold=timed_thr if sc.satisfied else math.inf,
+        tcc_threshold=timed_thr if cc.satisfied else math.inf,
+        epsilon=epsilon,
+    )
+
+
+def tsc_threshold(
+    history: History,
+    epsilon: float = 0.0,
+    budget: int = DEFAULT_BUDGET,
+) -> float:
+    """Smallest delta with TSC(delta); ``math.inf`` if SC fails."""
+    if not check_sc(history, budget=budget).satisfied:
+        return math.inf
+    return min_timed_delta(history, epsilon)
+
+
+def tcc_threshold(
+    history: History,
+    epsilon: float = 0.0,
+    budget: int = DEFAULT_BUDGET,
+) -> float:
+    """Smallest delta with TCC(delta); ``math.inf`` if CC fails."""
+    if not check_cc(history, budget=budget).satisfied:
+        return math.inf
+    return min_timed_delta(history, epsilon)
+
+
+def tcc_logical_threshold(
+    history: History,
+    xi: XiMap,
+    budget: int = DEFAULT_BUDGET,
+) -> float:
+    """Smallest Definition-6 delta with logical TCC; ``math.inf`` if CC
+    fails (operations must carry logical timestamps)."""
+    if not check_cc(history, budget=budget).satisfied:
+        return math.inf
+    return min_timed_delta_logical(history, xi)
+
+
+def delta_spectrum(
+    history: History,
+    deltas: Optional[list] = None,
+    epsilon: float = 0.0,
+    budget: int = DEFAULT_BUDGET,
+) -> dict:
+    """Evaluate TSC/TCC satisfaction across a range of deltas.
+
+    Returns ``{delta: (tsc_ok, tcc_ok)}`` — the Figure 4b sweep for one
+    execution.  The default grid brackets the execution's own threshold.
+    """
+    report = threshold_report(history, epsilon, budget)
+    if deltas is None:
+        thr = report.timed_threshold
+        if thr == 0.0 or math.isinf(thr):
+            deltas = [0.0, 1.0, 10.0, 100.0]
+        else:
+            deltas = sorted(
+                {0.0, thr / 2, thr * 0.99, thr, thr * 1.01, thr * 2, thr * 10}
+            )
+    return {
+        d: (report.satisfies_tsc(d), report.satisfies_tcc(d)) for d in deltas
+    }

@@ -1,0 +1,178 @@
+"""Serializability and strict serializability over transactions (§2).
+
+The paper: "strict serializability is defined over histories formed by
+transactions, and it requires the existence of a serialization of H that
+respects the real-time order of the transactions ... LIN can be seen as a
+particular case of strict serializability where each transaction is a
+predefined operation on a single object."
+
+A :class:`Transaction` is an atomic sequence of reads/writes with an
+execution interval ``[start, end]``.  ``check_serializability`` asks for a
+total order of the transactions whose flattened operation sequence is
+legal; ``check_strict_serializability`` additionally requires the order to
+respect *definitely-precedes* between transactions (``a.end < b.start``).
+
+The decision procedure is memoized backtracking over transaction orders
+with incremental legality (the problem is NP-complete, like SC); intended
+for the small transactional histories used in analysis and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.checkers.result import CheckResult, SearchBudgetExceeded
+from repro.core.operations import Operation
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An atomic group of operations.
+
+    ``start``/``end`` bound the transaction's execution in real time; the
+    operations' own times must fall inside.  ``txn_id`` is for reporting.
+    """
+
+    txn_id: str
+    operations: Tuple[Operation, ...]
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"transaction {self.txn_id}: end {self.end} < start {self.start}"
+            )
+        if not self.operations:
+            raise ValueError(f"transaction {self.txn_id} is empty")
+        for op in self.operations:
+            if not self.start <= op.time <= self.end:
+                raise ValueError(
+                    f"operation {op.label()} at {op.time} outside "
+                    f"transaction {self.txn_id}'s interval "
+                    f"[{self.start}, {self.end}]"
+                )
+
+    def definitely_precedes(self, other: "Transaction") -> bool:
+        return self.end < other.start
+
+
+def transaction(txn_id: str, operations: Sequence[Operation]) -> Transaction:
+    """Build a transaction whose interval spans its operations."""
+    ops = tuple(operations)
+    times = [op.time for op in ops]
+    return Transaction(txn_id, ops, min(times), max(times))
+
+
+def _apply(
+    last_values: Dict[str, Any],
+    txn: Transaction,
+    initial_value: Any,
+) -> Optional[Dict[str, Any]]:
+    """Run a transaction against an object-value map; None if illegal."""
+    values = dict(last_values)
+    for op in txn.operations:
+        if op.is_write:
+            values[op.obj] = op.value
+        elif op.value != values.get(op.obj, initial_value):
+            return None
+    return values
+
+
+def _search(
+    transactions: List[Transaction],
+    precedence: Dict[int, Set[int]],
+    initial_value: Any,
+    budget: int,
+) -> Optional[List[Transaction]]:
+    """Memoized DFS over transaction orders respecting ``precedence``."""
+    n = len(transactions)
+    failed: Set[Tuple[FrozenSet[int], Tuple[Tuple[str, Any], ...]]] = set()
+    states = [0]
+
+    def dfs(scheduled: FrozenSet[int], order: List[int], values: Dict[str, Any]):
+        if len(order) == n:
+            return list(order)
+        key = (scheduled, tuple(sorted(values.items())))
+        if key in failed:
+            return None
+        states[0] += 1
+        if states[0] > budget:
+            raise SearchBudgetExceeded(budget)
+        for k in range(n):
+            if k in scheduled or not precedence[k] <= scheduled:
+                continue
+            new_values = _apply(values, transactions[k], initial_value)
+            if new_values is None:
+                continue
+            order.append(k)
+            result = dfs(scheduled | {k}, order, new_values)
+            if result is not None:
+                return result
+            order.pop()
+        failed.add(key)
+        return None
+
+    indices = dfs(frozenset(), [], {})
+    if indices is None:
+        return None
+    return [transactions[k] for k in indices]
+
+
+def check_serializability(
+    transactions_list: Sequence[Transaction],
+    initial_value: Any = 0,
+    budget: int = 200_000,
+) -> CheckResult:
+    """Plain serializability: any total order with a legal flattening."""
+    txns = list(transactions_list)
+    precedence: Dict[int, Set[int]] = {k: set() for k in range(len(txns))}
+    witness = _search(txns, precedence, initial_value, budget)
+    if witness is not None:
+        return CheckResult(
+            "SER", True,
+            witness=[op for txn in witness for op in txn.operations],
+        )
+    return CheckResult(
+        "SER", False,
+        violation="no serial order of the transactions is legal",
+    )
+
+
+def check_strict_serializability(
+    transactions_list: Sequence[Transaction],
+    initial_value: Any = 0,
+    budget: int = 200_000,
+) -> CheckResult:
+    """Strict serializability: the order must respect real-time precedence
+    between non-overlapping transactions (Papadimitriou [30])."""
+    txns = list(transactions_list)
+    precedence: Dict[int, Set[int]] = {k: set() for k in range(len(txns))}
+    for a in range(len(txns)):
+        for b in range(len(txns)):
+            if a != b and txns[a].definitely_precedes(txns[b]):
+                precedence[b].add(a)
+    witness = _search(txns, precedence, initial_value, budget)
+    if witness is not None:
+        return CheckResult(
+            "SSER", True,
+            witness=[op for txn in witness for op in txn.operations],
+        )
+    return CheckResult(
+        "SSER", False,
+        violation="no legal serial order respects the transactions' "
+        "real-time precedence",
+    )
+
+
+def singleton_transactions(operations: Sequence[Operation]) -> List[Transaction]:
+    """Wrap each operation in its own transaction (interval = its own
+    ``[start, end]`` if present, else the effective-time instant) — the
+    paper's reduction of LIN to strict serializability."""
+    out = []
+    for i, op in enumerate(operations):
+        start = op.time if op.start is None else op.start
+        end = op.time if op.end is None else op.end
+        out.append(Transaction(f"t{i}", (op,), start, end))
+    return out

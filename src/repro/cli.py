@@ -1,0 +1,275 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``check TRACE.json --criterion tsc --delta 0.5`` — run a consistency
+  checker on a recorded trace (see :mod:`repro.core.io` for the format);
+* ``threshold TRACE.json`` — report the trace's delta thresholds;
+* ``render TRACE.json`` — draw the execution as a paper-style timeline;
+* ``figures`` — verify every worked example of the paper;
+* ``sweep`` — run the Section 6 delta-vs-cost simulation;
+* ``webcache`` — run the Section 4 web-cache policy comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from repro.analysis import delta_cost_sweep, print_table
+from repro.checkers import (
+    check_cc,
+    check_lin,
+    check_sc,
+    check_tcc,
+    check_tsc,
+    threshold_report,
+)
+from repro.core.io import load_history
+from repro.core.render import render_serialization, render_timeline
+
+CHECKERS = {
+    "lin": lambda h, a: check_lin(h),
+    "sc": lambda h, a: check_sc(h),
+    "cc": lambda h, a: check_cc(h),
+    "tsc": lambda h, a: check_tsc(h, a.delta, a.epsilon),
+    "tcc": lambda h, a: check_tcc(h, a.delta, a.epsilon),
+}
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    history = load_history(args.trace)
+    if args.criterion in ("tsc", "tcc") and args.delta is None:
+        print("error: --delta is required for tsc/tcc", file=sys.stderr)
+        return 2
+    result = CHECKERS[args.criterion](history, args)
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "criterion": args.criterion,
+            "satisfied": result.satisfied,
+            "violation": result.violation,
+            "parameters": result.parameters,
+        }))
+        return 0 if result.satisfied else 1
+    verdict = "SATISFIED" if result.satisfied else "VIOLATED"
+    print(f"{args.criterion.upper()}: {verdict}")
+    if result.violation:
+        print(f"  {result.violation}")
+    if args.render:
+        print()
+        print(render_timeline(history))
+    if args.witness and result.satisfied:
+        if result.witness is not None:
+            print("\nwitness serialization:")
+            print(render_serialization(result.witness))
+        if result.site_witnesses:
+            for site, witness in sorted(result.site_witnesses.items()):
+                print(f"\nS_{site}:")
+                print(render_serialization(witness))
+    return 0 if result.satisfied else 1
+
+
+def cmd_threshold(args: argparse.Namespace) -> int:
+    history = load_history(args.trace)
+    report = threshold_report(history, epsilon=args.epsilon)
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "sc": report.sc_holds,
+            "cc": report.cc_holds,
+            "timed_threshold": report.timed_threshold,
+            "tsc_threshold": report.tsc_threshold,
+            "tcc_threshold": report.tcc_threshold,
+            "epsilon": report.epsilon,
+        }))
+        return 0
+    rows = [
+        {"quantity": "SC holds", "value": report.sc_holds},
+        {"quantity": "CC holds", "value": report.cc_holds},
+        {"quantity": "timedness threshold", "value": report.timed_threshold},
+        {"quantity": "TSC threshold (delta*)", "value": report.tsc_threshold},
+        {"quantity": "TCC threshold (delta*)", "value": report.tcc_threshold},
+    ]
+    print_table(rows, title=f"thresholds of {args.trace} (epsilon={args.epsilon:g})")
+    return 0
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    history = load_history(args.trace, validate=not args.no_validate)
+    print(render_timeline(history, width=args.width))
+    return 0
+
+
+def _run_figures() -> int:
+    from repro.checkers import tsc_threshold
+    from repro.core import Serialization, min_timed_delta
+    from repro.paperdata import (
+        figure1,
+        figure5,
+        figure5_serialization,
+        figure6,
+        figures2_3,
+    )
+
+    rows = []
+    h1 = figure1()
+    rows.append({"figure": "1", "claim": "SC, CC, not LIN",
+                 "holds": check_sc(h1).satisfied and check_cc(h1).satisfied
+                 and not check_lin(h1).satisfied})
+    sc23 = figures2_3()
+    from repro.core import read_occurs_on_time
+
+    rows.append({
+        "figure": "2-3",
+        "claim": "late under Def 1, on time under Def 2",
+        "holds": not read_occurs_on_time(sc23.history, sc23.the_read, sc23.delta)
+        and read_occurs_on_time(sc23.history, sc23.the_read, sc23.delta, sc23.epsilon),
+    })
+    h5 = figure5()
+    s5 = Serialization(figure5_serialization(h5))
+    rows.append({"figure": "5", "claim": "SC via 5(b); TSC iff delta >= 96",
+                 "holds": s5.is_legal() and s5.respects_program_order()
+                 and not check_tsc(h5, 50.0).satisfied
+                 and check_tsc(h5, 97.0).satisfied
+                 and min_timed_delta(h5) == 96.0})
+    h6 = figure6()
+    rows.append({"figure": "6", "claim": "CC not SC; TCC(30) fails",
+                 "holds": check_cc(h6).satisfied and not check_sc(h6).satisfied
+                 and not check_tcc(h6, 30.0).satisfied})
+    rows.append({"figure": "4b", "claim": "TSC(0)=LIN, TSC(inf)=SC on figures",
+                 "holds": all(
+                     check_tsc(h, 0.0).satisfied == check_lin(h).satisfied
+                     and check_tsc(h, math.inf).satisfied == check_sc(h).satisfied
+                     for h in (h1, h5, h6)
+                 )})
+    print_table(rows, title="paper figures, re-verified")
+    ok = all(row["holds"] for row in rows)
+    print("\nall claims hold" if ok else "\nSOME CLAIMS FAILED")
+    return 0 if ok else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.workloads import read_heavy_hotspot
+
+    rows = delta_cost_sweep(
+        args.deltas,
+        lambda: read_heavy_hotspot(
+            n_ops=args.ops, mean_think_time=0.08, write_fraction=args.write_fraction
+        ),
+        variant=args.variant,
+        base_variant="sc" if args.variant == "tsc" else "cc",
+        n_clients=args.clients,
+        seed=args.seed,
+    )
+    print_table(
+        rows,
+        columns=[
+            "variant", "delta", "hit_ratio", "msgs_per_read", "validations",
+            "mean_staleness", "max_staleness", "stale_frac",
+        ],
+        title=f"delta-vs-cost sweep ({args.variant}, {args.clients} clients, "
+        f"seed {args.seed})",
+    )
+    if args.csv:
+        from repro.analysis import write_csv
+
+        write_csv(rows, args.csv)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def cmd_webcache(args: argparse.Namespace) -> int:
+    from repro.webcache import (
+        AdaptiveTTL,
+        FixedTTL,
+        PollEveryTime,
+        ServerInvalidation,
+        compare_policies,
+    )
+
+    policies = [PollEveryTime()]
+    policies += [FixedTTL(ttl) for ttl in args.ttls]
+    policies += [AdaptiveTTL(factor=0.2, min_ttl=0.05, max_ttl=10.0),
+                 ServerInvalidation()]
+    rows = compare_policies(
+        policies,
+        n_caches=args.caches,
+        n_docs=args.docs,
+        requests_per_cache=args.requests,
+        seed=args.seed,
+    )
+    print_table(rows, title="web cache consistency policies")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Timed consistency for shared distributed objects "
+        "(PODC '99 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="check a recorded trace")
+    p_check.add_argument("trace")
+    p_check.add_argument("--criterion", choices=sorted(CHECKERS), default="sc")
+    p_check.add_argument("--delta", type=float, default=None)
+    p_check.add_argument("--epsilon", type=float, default=0.0)
+    p_check.add_argument("--render", action="store_true")
+    p_check.add_argument("--witness", action="store_true")
+    p_check.add_argument("--json", action="store_true",
+                         help="machine-readable verdict on stdout")
+    p_check.set_defaults(func=cmd_check)
+
+    p_thr = sub.add_parser("threshold", help="delta thresholds of a trace")
+    p_thr.add_argument("trace")
+    p_thr.add_argument("--epsilon", type=float, default=0.0)
+    p_thr.add_argument("--json", action="store_true",
+                       help="machine-readable report on stdout")
+    p_thr.set_defaults(func=cmd_threshold)
+
+    p_render = sub.add_parser("render", help="draw a trace as a timeline")
+    p_render.add_argument("trace")
+    p_render.add_argument("--width", type=int, default=100)
+    p_render.add_argument("--no-validate", action="store_true")
+    p_render.set_defaults(func=cmd_render)
+
+    p_fig = sub.add_parser("figures", help="re-verify the paper's figures")
+    p_fig.set_defaults(func=lambda args: _run_figures())
+
+    p_sweep = sub.add_parser("sweep", help="delta-vs-cost simulation")
+    p_sweep.add_argument("--variant", choices=["tsc", "tcc"], default="tsc")
+    p_sweep.add_argument("--deltas", type=float, nargs="+",
+                         default=[0.05, 0.1, 0.25, 0.5, 1.0, 2.0])
+    p_sweep.add_argument("--clients", type=int, default=6)
+    p_sweep.add_argument("--ops", type=int, default=120)
+    p_sweep.add_argument("--write-fraction", type=float, default=0.08)
+    p_sweep.add_argument("--seed", type=int, default=11)
+    p_sweep.add_argument("--csv", default=None,
+                         help="also write the rows to this CSV path")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_web = sub.add_parser("webcache", help="web-cache policy comparison")
+    p_web.add_argument("--ttls", type=float, nargs="+", default=[0.5, 2.0])
+    p_web.add_argument("--caches", type=int, default=5)
+    p_web.add_argument("--docs", type=int, default=20)
+    p_web.add_argument("--requests", type=int, default=150)
+    p_web.add_argument("--seed", type=int, default=17)
+    p_web.set_defaults(func=cmd_webcache)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Clock substrates for timed consistency.
+
+Physical clocks (perfect / skewed / drifting / epsilon-synchronized) back
+Definitions 1-2; logical clocks (Lamport, vector, plausible) back the causal
+protocols of Section 5.3 and the logical-clock approximation of timed
+consistency in Section 5.4 via the xi maps.
+"""
+
+from repro.clocks.base import (
+    LogicalClock,
+    LogicalTimestamp,
+    Ordering,
+    compare_physical,
+    definitely_before,
+)
+from repro.clocks.lamport import LamportClock, ScalarTimestamp
+from repro.clocks.physical import (
+    DriftingClock,
+    ManualTime,
+    PerfectClock,
+    PhysicalClock,
+    SkewedClock,
+    SynchronizedClock,
+    TimeServer,
+    measured_epsilon,
+    pairwise_epsilon,
+)
+from repro.clocks.plausible import (
+    CombClock,
+    CombTimestamp,
+    KLamportClock,
+    KLamportTimestamp,
+    REVClock,
+    REVTimestamp,
+)
+from repro.clocks.vector import VectorClock, VectorTimestamp
+from repro.clocks.xi import (
+    EuclideanXi,
+    FunctionXi,
+    PNormXi,
+    SumXi,
+    WeightedXi,
+    XiMap,
+    figure7_examples,
+    logical_delta_elapsed,
+    validate_xi,
+)
+
+__all__ = [
+    "CombClock",
+    "CombTimestamp",
+    "DriftingClock",
+    "EuclideanXi",
+    "FunctionXi",
+    "KLamportClock",
+    "KLamportTimestamp",
+    "LamportClock",
+    "LogicalClock",
+    "LogicalTimestamp",
+    "ManualTime",
+    "Ordering",
+    "PNormXi",
+    "PerfectClock",
+    "PhysicalClock",
+    "REVClock",
+    "REVTimestamp",
+    "ScalarTimestamp",
+    "SkewedClock",
+    "SumXi",
+    "SynchronizedClock",
+    "TimeServer",
+    "VectorClock",
+    "VectorTimestamp",
+    "WeightedXi",
+    "XiMap",
+    "compare_physical",
+    "definitely_before",
+    "figure7_examples",
+    "logical_delta_elapsed",
+    "measured_epsilon",
+    "pairwise_epsilon",
+    "validate_xi",
+]

@@ -1,0 +1,74 @@
+"""Lamport scalar logical clocks.
+
+Lamport clocks [Lamport 78, reference 26 of the paper] assign a single
+integer to every event such that ``a -> b`` implies ``L(a) < L(b)``.  The
+converse does not hold, so scalar timestamps cannot *detect* concurrency —
+two distinct scalar timestamps always compare as ordered.  They are included
+both as the simplest member of the logical clock family and as a degenerate
+"plausible clock" baseline for the Section 5.4 experiments (a plausible
+clock must order causally related events correctly but may order concurrent
+events arbitrarily, which is exactly what a Lamport clock does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clocks.base import LogicalClock, LogicalTimestamp, Ordering
+
+
+@dataclass(frozen=True, order=False)
+class ScalarTimestamp(LogicalTimestamp):
+    """An integer Lamport timestamp with a site id used only to break ties.
+
+    Ties between distinct sites are declared ``CONCURRENT``: with a scalar
+    clock, equal counters at different sites are the only case where we can
+    be certain the events are causally unrelated.
+    """
+
+    counter: int
+    site: int = 0
+
+    def compare(self, other: LogicalTimestamp) -> Ordering:
+        if not isinstance(other, ScalarTimestamp):
+            raise TypeError(f"cannot compare ScalarTimestamp with {type(other).__name__}")
+        if self.counter == other.counter:
+            if self.site == other.site:
+                return Ordering.EQUAL
+            return Ordering.CONCURRENT
+        if self.counter < other.counter:
+            return Ordering.BEFORE
+        return Ordering.AFTER
+
+    def join(self, other: "ScalarTimestamp") -> "ScalarTimestamp":
+        return self if self.counter >= other.counter else other
+
+    def meet(self, other: "ScalarTimestamp") -> "ScalarTimestamp":
+        return self if self.counter <= other.counter else other
+
+
+class LamportClock(LogicalClock[ScalarTimestamp]):
+    """Classic Lamport clock: ``tick`` increments, ``receive`` takes the max."""
+
+    def __init__(self, site: int) -> None:
+        if site < 0:
+            raise ValueError(f"site id must be non-negative, got {site}")
+        self.site = site
+        self._counter = 0
+
+    def now(self) -> ScalarTimestamp:
+        return ScalarTimestamp(self._counter, self.site)
+
+    def tick(self) -> ScalarTimestamp:
+        self._counter += 1
+        return self.now()
+
+    def send(self) -> ScalarTimestamp:
+        return self.tick()
+
+    def receive(self, remote: ScalarTimestamp) -> ScalarTimestamp:
+        self._counter = max(self._counter, remote.counter) + 1
+        return self.now()
+
+    def __repr__(self) -> str:
+        return f"LamportClock(site={self.site}, counter={self._counter})"

@@ -1,0 +1,380 @@
+"""Plausible clocks (Torres-Rojas & Ahamad, WDAG '96 — reference [37]).
+
+A *plausible* clock is a constant-size logical clock that is allowed to
+order concurrent events (unlike a vector clock, which reports them as
+concurrent) but must never invert or hide causal order:
+
+* if ``a`` causally precedes ``b`` then the clock reports ``BEFORE``;
+* if the clock reports ``CONCURRENT`` the events really are concurrent.
+
+The error is one-sided: ``BEFORE``/``AFTER`` answers may be wrong only for
+events that are actually concurrent.  Section 5.3 of the paper allows the
+causal lifetime protocol to take its timestamps "from vector clocks or from
+plausible clocks": plausibly ordering two concurrent writes merely makes the
+protocol more conservative (more invalidations), never incorrect.
+
+Implemented plausible clocks, following the WDAG '96 constructions:
+
+* :class:`REVClock` — *R-Entries Vector*: site ``i`` owns entry ``i mod R``
+  of an R-entry vector, so the timestamp size is constant in the number of
+  sites.  With ``R >= number of sites`` it degenerates to an exact vector
+  clock.
+* :class:`KLamportClock` — *k-Lamport*: the local Lamport counter plus the
+  last ``k - 1`` counters observed from other sites, compared
+  lexicographically with vector-like dominance.
+* :class:`CombClock` — the *Comb* combination of several plausible clocks:
+  it reports ``CONCURRENT`` as soon as any component does, so its accuracy
+  dominates each component's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.clocks.base import LogicalClock, LogicalTimestamp, Ordering
+
+
+class REVTimestamp(LogicalTimestamp):
+    """Timestamp of an R-entries vector clock: (owner entry index, entries)."""
+
+    __slots__ = ("slot", "entries")
+
+    def __init__(self, slot: int, entries: Sequence[int]) -> None:
+        object.__setattr__(self, "slot", int(slot))
+        object.__setattr__(self, "entries", tuple(int(e) for e in entries))
+        if not 0 <= self.slot < len(self.entries):
+            raise ValueError(f"slot {slot} out of range for {len(self.entries)} entries")
+
+    slot: int
+    entries: Tuple[int, ...]
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("REVTimestamp is immutable")
+
+    def __hash__(self) -> int:
+        return hash((self.slot, self.entries))
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, REVTimestamp)
+            and self.slot == other.slot
+            and self.entries == other.entries
+        )
+
+    def __repr__(self) -> str:
+        return f"REV(slot={self.slot}, <{', '.join(map(str, self.entries))}>)"
+
+    def compare(self, other: LogicalTimestamp) -> Ordering:
+        if not isinstance(other, REVTimestamp):
+            raise TypeError(f"cannot compare REVTimestamp with {type(other).__name__}")
+        if len(self.entries) != len(other.entries):
+            raise ValueError("REV width mismatch")
+        if self.entries == other.entries and self.slot == other.slot:
+            return Ordering.EQUAL
+        # The WDAG'96 REV test: t < u iff t[slot_t] <= u[slot_t] and t <= u
+        # component-wise ... but with entry folding the sound test is the
+        # vector dominance test on the folded entries, with the owner entry
+        # strict when slots collide.
+        le = all(a <= b for a, b in zip(self.entries, other.entries))
+        ge = all(a >= b for a, b in zip(self.entries, other.entries))
+        if le and ge:
+            # Same folded entries but different owner slot: plausibly order
+            # by slot to stay deterministic (the events are concurrent).
+            return Ordering.BEFORE if self.slot < other.slot else Ordering.AFTER
+        if le:
+            return Ordering.BEFORE
+        if ge:
+            return Ordering.AFTER
+        return Ordering.CONCURRENT
+
+    def join(self, other: "REVTimestamp") -> "REVTimestamp":
+        if len(self.entries) != len(other.entries):
+            raise ValueError("REV width mismatch")
+        merged = tuple(max(a, b) for a, b in zip(self.entries, other.entries))
+        # The join keeps the slot of the dominant operand when one dominates;
+        # otherwise the slot is immaterial for ordering soundness.
+        slot = other.slot if other.compare(self) is Ordering.AFTER else self.slot
+        return REVTimestamp(slot, merged)
+
+    def meet(self, other: "REVTimestamp") -> "REVTimestamp":
+        if len(self.entries) != len(other.entries):
+            raise ValueError("REV width mismatch")
+        merged = tuple(min(a, b) for a, b in zip(self.entries, other.entries))
+        slot = other.slot if other.compare(self) is Ordering.BEFORE else self.slot
+        return REVTimestamp(slot, merged)
+
+    def sum(self) -> int:
+        """Total activity this timestamp is aware of (for the xi maps)."""
+        return sum(self.entries)
+
+
+class REVClock(LogicalClock[REVTimestamp]):
+    """R-entries vector clock: constant-size plausible clock.
+
+    Site ``i`` ticks entry ``i mod r``.  When two different sites share an
+    entry, one site's events inflate the other's entry, which can only make
+    the clock report *more* order than really exists — the plausibility
+    guarantee (causal order is never inverted) is preserved because a
+    message's timestamp is joined into the receiver before the receiver's
+    next event.
+    """
+
+    def __init__(self, site: int, r: int) -> None:
+        if site < 0:
+            raise ValueError(f"site id must be non-negative, got {site}")
+        if r <= 0:
+            raise ValueError(f"r must be positive, got {r}")
+        self.site = site
+        self.r = r
+        self.slot = site % r
+        self._entries = [0] * r
+
+    def now(self) -> REVTimestamp:
+        return REVTimestamp(self.slot, self._entries)
+
+    def tick(self) -> REVTimestamp:
+        self._entries[self.slot] += 1
+        return self.now()
+
+    def send(self) -> REVTimestamp:
+        return self.tick()
+
+    def receive(self, remote: REVTimestamp) -> REVTimestamp:
+        if len(remote.entries) != self.r:
+            raise ValueError("REV width mismatch")
+        self._entries = [max(a, b) for a, b in zip(self._entries, remote.entries)]
+        self._entries[self.slot] += 1
+        return self.now()
+
+    def merge(self, remote: REVTimestamp) -> REVTimestamp:
+        """Merge without ticking (adopting a fetched object's timestamp
+        should not create a new local event) — mirrors VectorClock.merge."""
+        if len(remote.entries) != self.r:
+            raise ValueError("REV width mismatch")
+        self._entries = [max(a, b) for a, b in zip(self._entries, remote.entries)]
+        return self.now()
+
+    @staticmethod
+    def zero(site: int, r: int) -> REVTimestamp:
+        """The initial timestamp a site at slot ``site % r`` starts from."""
+        return REVTimestamp(site % r, (0,) * r)
+
+    def __repr__(self) -> str:
+        return f"REVClock(site={self.site}, r={self.r}, now={self.now()!r})"
+
+
+class KLamportTimestamp(LogicalTimestamp):
+    """Timestamp of the k-Lamport plausible clock.
+
+    ``levels[0]`` is the site's own Lamport counter; ``levels[j]`` for
+    ``j > 0`` is the largest ``levels[j-1]`` value ever observed from any
+    other site.  Dominance of every level is the plausible order test.
+    """
+
+    __slots__ = ("site", "levels")
+
+    def __init__(self, site: int, levels: Sequence[int]) -> None:
+        object.__setattr__(self, "site", int(site))
+        object.__setattr__(self, "levels", tuple(int(x) for x in levels))
+        if not self.levels:
+            raise ValueError("k-Lamport timestamp needs at least one level")
+
+    site: int
+    levels: Tuple[int, ...]
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("KLamportTimestamp is immutable")
+
+    def __hash__(self) -> int:
+        return hash((self.site, self.levels))
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, KLamportTimestamp)
+            and self.site == other.site
+            and self.levels == other.levels
+        )
+
+    def __repr__(self) -> str:
+        return f"KLamport(site={self.site}, levels={self.levels})"
+
+    def compare(self, other: LogicalTimestamp) -> Ordering:
+        if not isinstance(other, KLamportTimestamp):
+            raise TypeError(
+                f"cannot compare KLamportTimestamp with {type(other).__name__}"
+            )
+        if len(self.levels) != len(other.levels):
+            raise ValueError("k-Lamport depth mismatch")
+        if self.site == other.site and self.levels == other.levels:
+            return Ordering.EQUAL
+        if self.site == other.site:
+            # Same site: the local counter totally orders events.
+            if self.levels[0] < other.levels[0]:
+                return Ordering.BEFORE
+            if self.levels[0] > other.levels[0]:
+                return Ordering.AFTER
+            return Ordering.EQUAL
+        # Cross-site: the head counter is a Lamport clock, so a -> b implies
+        # head(a) < head(b); ordering by head never inverts causal order.
+        # Equal heads at different sites are therefore provably concurrent.
+        if self.levels[0] == other.levels[0]:
+            return Ordering.CONCURRENT
+        if self.levels[0] < other.levels[0]:
+            # Refinement: if self -> other then self's counter must have
+            # propagated into other's observed level, so a smaller observed
+            # level proves concurrency.
+            if len(other.levels) > 1 and other.levels[1] < self.levels[0]:
+                return Ordering.CONCURRENT
+            return Ordering.BEFORE
+        if len(self.levels) > 1 and self.levels[1] < other.levels[0]:
+            return Ordering.CONCURRENT
+        return Ordering.AFTER
+
+    def join(self, other: "KLamportTimestamp") -> "KLamportTimestamp":
+        if len(self.levels) != len(other.levels):
+            raise ValueError("k-Lamport depth mismatch")
+        cmp = self.compare(other)
+        if cmp is Ordering.AFTER or cmp is Ordering.EQUAL:
+            return self
+        if cmp is Ordering.BEFORE:
+            return other
+        levels = tuple(max(a, b) for a, b in zip(self.levels, other.levels))
+        return KLamportTimestamp(self.site, levels)
+
+    def meet(self, other: "KLamportTimestamp") -> "KLamportTimestamp":
+        if len(self.levels) != len(other.levels):
+            raise ValueError("k-Lamport depth mismatch")
+        cmp = self.compare(other)
+        if cmp is Ordering.BEFORE or cmp is Ordering.EQUAL:
+            return self
+        if cmp is Ordering.AFTER:
+            return other
+        levels = tuple(min(a, b) for a, b in zip(self.levels, other.levels))
+        return KLamportTimestamp(self.site, levels)
+
+    def sum(self) -> int:
+        return sum(self.levels)
+
+
+class KLamportClock(LogicalClock[KLamportTimestamp]):
+    """k-Lamport plausible clock of depth ``k``."""
+
+    def __init__(self, site: int, k: int = 2) -> None:
+        if site < 0:
+            raise ValueError(f"site id must be non-negative, got {site}")
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        self.site = site
+        self.k = k
+        self._levels = [0] * k
+
+    def now(self) -> KLamportTimestamp:
+        return KLamportTimestamp(self.site, self._levels)
+
+    def tick(self) -> KLamportTimestamp:
+        self._levels[0] += 1
+        return self.now()
+
+    def send(self) -> KLamportTimestamp:
+        return self.tick()
+
+    def receive(self, remote: KLamportTimestamp) -> KLamportTimestamp:
+        if len(remote.levels) != self.k:
+            raise ValueError("k-Lamport depth mismatch")
+        # Shift the remote's view down one level and merge.
+        for level in range(self.k - 1, 0, -1):
+            self._levels[level] = max(self._levels[level], remote.levels[level - 1])
+        self._levels[0] = max(self._levels[0], remote.levels[0]) + 1
+        return self.now()
+
+    def __repr__(self) -> str:
+        return f"KLamportClock(site={self.site}, k={self.k}, now={self.now()!r})"
+
+
+class CombTimestamp(LogicalTimestamp):
+    """Product timestamp of the Comb plausible-clock combinator."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[LogicalTimestamp]) -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+        if not self.parts:
+            raise ValueError("Comb timestamp needs at least one component")
+
+    parts: Tuple[LogicalTimestamp, ...]
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("CombTimestamp is immutable")
+
+    def __hash__(self) -> int:
+        return hash(self.parts)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, CombTimestamp) and self.parts == other.parts
+
+    def __repr__(self) -> str:
+        return f"Comb({', '.join(repr(p) for p in self.parts)})"
+
+    def compare(self, other: LogicalTimestamp) -> Ordering:
+        if not isinstance(other, CombTimestamp):
+            raise TypeError(f"cannot compare CombTimestamp with {type(other).__name__}")
+        if len(self.parts) != len(other.parts):
+            raise ValueError("Comb arity mismatch")
+        verdicts = {a.compare(b) for a, b in zip(self.parts, other.parts)}
+        if verdicts == {Ordering.EQUAL}:
+            return Ordering.EQUAL
+        if Ordering.CONCURRENT in verdicts:
+            return Ordering.CONCURRENT
+        # Components disagree on direction => the events must be concurrent
+        # (a genuine causal order would be reported unanimously).
+        if Ordering.BEFORE in verdicts and Ordering.AFTER in verdicts:
+            return Ordering.CONCURRENT
+        if Ordering.BEFORE in verdicts:
+            return Ordering.BEFORE
+        return Ordering.AFTER
+
+    def join(self, other: "CombTimestamp") -> "CombTimestamp":
+        if len(self.parts) != len(other.parts):
+            raise ValueError("Comb arity mismatch")
+        return CombTimestamp([a.join(b) for a, b in zip(self.parts, other.parts)])
+
+    def meet(self, other: "CombTimestamp") -> "CombTimestamp":
+        if len(self.parts) != len(other.parts):
+            raise ValueError("Comb arity mismatch")
+        return CombTimestamp([a.meet(b) for a, b in zip(self.parts, other.parts)])
+
+    def sum(self) -> int:
+        total = 0
+        for part in self.parts:
+            part_sum = getattr(part, "sum", None)
+            if callable(part_sum):
+                total += part_sum()
+        return total
+
+
+class CombClock(LogicalClock[CombTimestamp]):
+    """Run several plausible clocks in parallel and intersect their orders."""
+
+    def __init__(self, components: Sequence[LogicalClock]) -> None:
+        if not components:
+            raise ValueError("Comb clock needs at least one component")
+        self.components: List[LogicalClock] = list(components)
+
+    def now(self) -> CombTimestamp:
+        return CombTimestamp([c.now() for c in self.components])
+
+    def tick(self) -> CombTimestamp:
+        return CombTimestamp([c.tick() for c in self.components])
+
+    def send(self) -> CombTimestamp:
+        return CombTimestamp([c.send() for c in self.components])
+
+    def receive(self, remote: CombTimestamp) -> CombTimestamp:
+        if len(remote.parts) != len(self.components):
+            raise ValueError("Comb arity mismatch")
+        return CombTimestamp(
+            [c.receive(part) for c, part in zip(self.components, remote.parts)]
+        )
+
+    def __repr__(self) -> str:
+        return f"CombClock({', '.join(repr(c) for c in self.components)})"

@@ -1,0 +1,137 @@
+"""Vector clocks (Fidge [15] / Mattern [27]).
+
+A vector timestamp for an N-site system is an N-tuple of event counters.
+``t < u`` iff ``t[i] <= u[i]`` for all sites and ``t != u``; incomparable
+timestamps are concurrent.  Vector clocks *characterize* causality: the
+causal order of the execution is exactly the strict order on its vector
+timestamps, which is why Section 5.3 of the paper uses them for the causally
+consistent variant of the lifetime protocol.
+
+The component-wise maximum (:meth:`VectorTimestamp.join`) and minimum
+(:meth:`VectorTimestamp.meet`) implement the "maximum and minimum of two
+logical timestamps" that the adapted protocol rules require (the paper cites
+Torres-Rojas & Ahamad's technical report [38] for these operations).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.clocks.base import LogicalClock, LogicalTimestamp, Ordering
+
+
+class VectorTimestamp(LogicalTimestamp):
+    """An immutable N-entry vector timestamp."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: Iterable[int]) -> None:
+        object.__setattr__(self, "entries", tuple(int(e) for e in entries))
+        if any(e < 0 for e in self.entries):
+            raise ValueError(f"vector entries must be non-negative: {self.entries}")
+
+    entries: Tuple[int, ...]
+
+    def __setattr__(self, name: str, value) -> None:  # pragma: no cover - guard
+        raise AttributeError("VectorTimestamp is immutable")
+
+    # -- basic container protocol --------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __getitem__(self, index: int) -> int:
+        return self.entries[index]
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __hash__(self) -> int:
+        return hash(self.entries)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, VectorTimestamp) and self.entries == other.entries
+
+    def __repr__(self) -> str:
+        return f"<{', '.join(str(e) for e in self.entries)}>"
+
+    # -- ordering -------------------------------------------------------
+
+    def _check_width(self, other: "VectorTimestamp") -> None:
+        if len(self.entries) != len(other.entries):
+            raise ValueError(
+                f"vector width mismatch: {len(self.entries)} vs {len(other.entries)}"
+            )
+
+    def compare(self, other: LogicalTimestamp) -> Ordering:
+        if not isinstance(other, VectorTimestamp):
+            raise TypeError(f"cannot compare VectorTimestamp with {type(other).__name__}")
+        self._check_width(other)
+        le = all(a <= b for a, b in zip(self.entries, other.entries))
+        ge = all(a >= b for a, b in zip(self.entries, other.entries))
+        if le and ge:
+            return Ordering.EQUAL
+        if le:
+            return Ordering.BEFORE
+        if ge:
+            return Ordering.AFTER
+        return Ordering.CONCURRENT
+
+    def join(self, other: "VectorTimestamp") -> "VectorTimestamp":
+        self._check_width(other)
+        return VectorTimestamp(max(a, b) for a, b in zip(self.entries, other.entries))
+
+    def meet(self, other: "VectorTimestamp") -> "VectorTimestamp":
+        self._check_width(other)
+        return VectorTimestamp(min(a, b) for a, b in zip(self.entries, other.entries))
+
+    def sum(self) -> int:
+        """Total number of events this timestamp is aware of (Section 5.4)."""
+        return sum(self.entries)
+
+    @staticmethod
+    def zero(width: int) -> "VectorTimestamp":
+        """The initial all-zero timestamp for a ``width``-site system."""
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        return VectorTimestamp((0,) * width)
+
+
+class VectorClock(LogicalClock[VectorTimestamp]):
+    """Per-site vector clock: ``tick`` bumps the local entry, ``receive``
+    merges component-wise then bumps the local entry."""
+
+    def __init__(self, site: int, width: int) -> None:
+        if not 0 <= site < width:
+            raise ValueError(f"site {site} out of range for width {width}")
+        self.site = site
+        self.width = width
+        self._entries = [0] * width
+
+    def now(self) -> VectorTimestamp:
+        return VectorTimestamp(self._entries)
+
+    def tick(self) -> VectorTimestamp:
+        self._entries[self.site] += 1
+        return self.now()
+
+    def send(self) -> VectorTimestamp:
+        return self.tick()
+
+    def receive(self, remote: VectorTimestamp) -> VectorTimestamp:
+        if len(remote) != self.width:
+            raise ValueError(f"vector width mismatch: {len(remote)} vs {self.width}")
+        self._entries = [max(a, b) for a, b in zip(self._entries, remote.entries)]
+        self._entries[self.site] += 1
+        return self.now()
+
+    def merge(self, remote: VectorTimestamp) -> VectorTimestamp:
+        """Merge without ticking (used when adopting a fetched object's
+        timestamp should not create a new local event)."""
+        if len(remote) != self.width:
+            raise ValueError(f"vector width mismatch: {len(remote)} vs {self.width}")
+        self._entries = [max(a, b) for a, b in zip(self._entries, remote.entries)]
+        return self.now()
+
+    def __repr__(self) -> str:
+        return f"VectorClock(site={self.site}, now={self.now()!r})"

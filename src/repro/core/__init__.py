@@ -1,0 +1,64 @@
+"""Core model: operations, histories, serializations, and reading on time."""
+
+from repro.core.history import DEFAULT_INITIAL_VALUE, History, HistoryError
+from repro.core.io import dump_history, dumps_history, load_history, loads_history
+from repro.core.render import render_serialization, render_timeline
+from repro.core.operations import Operation, OpKind, read, write
+from repro.core.serialization import (
+    Serialization,
+    first_legality_violation,
+    is_legal,
+    merge_by_time,
+    reads_from_in,
+    respects,
+    respects_effective_times,
+    respects_program_order,
+)
+from repro.core.timed import (
+    INFINITE_DELTA,
+    all_reads_on_time,
+    all_reads_on_time_logical,
+    is_timed_serialization,
+    late_reads,
+    min_timed_delta,
+    min_timed_delta_logical,
+    read_occurs_on_time,
+    read_occurs_on_time_logical,
+    w_r_set,
+    w_r_set_logical,
+)
+
+__all__ = [
+    "DEFAULT_INITIAL_VALUE",
+    "History",
+    "HistoryError",
+    "INFINITE_DELTA",
+    "OpKind",
+    "Operation",
+    "Serialization",
+    "all_reads_on_time",
+    "all_reads_on_time_logical",
+    "dump_history",
+    "dumps_history",
+    "first_legality_violation",
+    "is_legal",
+    "is_timed_serialization",
+    "late_reads",
+    "load_history",
+    "loads_history",
+    "merge_by_time",
+    "min_timed_delta",
+    "min_timed_delta_logical",
+    "read",
+    "read_occurs_on_time",
+    "read_occurs_on_time_logical",
+    "reads_from_in",
+    "render_serialization",
+    "render_timeline",
+    "respects",
+    "respects_effective_times",
+    "respects_program_order",
+    "w_r_set",
+    "w_r_set_logical",
+    "write",
+]

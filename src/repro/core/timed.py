@@ -1,0 +1,239 @@
+"""Reading on time: the W_r sets of Definitions 1, 2 and 6.
+
+Definition 1 (perfect clocks): let ``w`` be the write whose value the read
+``r`` returns in serialization ``S``.  Then
+
+    W_r = { w' : w' writes to the same object  and  T(w) < T(w') < T(r) - delta }
+
+``r`` *reads on time* iff ``W_r`` is empty; ``S`` is *timed* iff every read
+in it reads on time.
+
+Definition 2 (epsilon-synchronized clocks) shrinks the window by ``2
+epsilon`` using the *definitely-occurred-before* relation: ``w'`` counts
+only if ``T(w) + epsilon < T(w')`` and ``T(w') + epsilon < T(r) - delta``.
+With ``epsilon = 0`` it reduces to Definition 1.
+
+Definition 6 (logical clocks) replaces physical times by ``xi(L(op))`` for a
+Definition-5 map ``xi``; ``delta`` is then a real number measured in
+"amount of global activity" rather than seconds.
+
+A read of the *initial value* is treated as reading from a virtual write at
+time ``-inf`` (so any same-object write older than ``T(r) - delta`` makes it
+late) — this matches the paper's Figure 6 discussion, where ``r4(C)0`` at
+155 violates TCC for delta = 30 because of ``w2(C)3`` at 98.
+
+Because written values are unique, the write ``w`` a read returns is
+determined by the read's value alone, so whether each read is on time is a
+property of the *history*, not of the particular serialization.  This gives
+the key decomposition the checkers exploit::
+
+    TSC(delta)  <=>  SC  and  every read on time
+    TCC(delta)  <=>  CC  and  every read on time
+
+(`repro.checkers` also implements the direct definition-level search and the
+test suite cross-validates the two.)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.clocks.xi import XiMap
+from repro.core.history import History
+from repro.core.operations import Operation
+from repro.core.serialization import reads_from_in
+
+#: ``delta = INFINITE_DELTA`` recovers plain SC/CC (Figure 4b's right end).
+INFINITE_DELTA = math.inf
+
+
+def w_r_set(
+    history: History,
+    read_op: Operation,
+    delta: float,
+    epsilon: float = 0.0,
+    writer: Optional[Operation] = None,
+) -> List[Operation]:
+    """The set ``W_r`` for ``read_op`` under Definition 1 (or 2 if
+    ``epsilon > 0``).
+
+    ``writer`` is the write whose value the read returns; by default it is
+    recovered from the read's value (``None`` meaning the initial value).
+    """
+    if not read_op.is_read:
+        raise ValueError(f"{read_op!r} is not a read")
+    if delta < 0:
+        raise ValueError(f"delta must be non-negative, got {delta}")
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    if writer is None:
+        writer = history.writer_of(read_op)
+    t_w = -math.inf if writer is None else writer.time
+    out: List[Operation] = []
+    for cand in history.writes_to(read_op.obj):
+        if cand is writer:
+            continue
+        # The second clause is algebraically "T(w') + eps < T(r) - delta",
+        # written as a bound on delta so it is bit-for-bit consistent with
+        # :func:`min_timed_delta` (same subtractions, same rounding).
+        if t_w + epsilon < cand.time and delta < read_op.time - cand.time - epsilon:
+            out.append(cand)
+    return out
+
+
+def read_occurs_on_time(
+    history: History,
+    read_op: Operation,
+    delta: float,
+    epsilon: float = 0.0,
+    writer: Optional[Operation] = None,
+) -> bool:
+    """``True`` iff ``W_r`` is empty for this read."""
+    return not w_r_set(history, read_op, delta, epsilon, writer)
+
+
+def late_reads(
+    history: History,
+    delta: float,
+    epsilon: float = 0.0,
+) -> List[Operation]:
+    """All reads of the history that do *not* occur on time (assuming each
+    read returns the value of its unique writer)."""
+    return [
+        r
+        for r in history.reads
+        if not read_occurs_on_time(history, r, delta, epsilon)
+    ]
+
+
+def all_reads_on_time(
+    history: History,
+    delta: float,
+    epsilon: float = 0.0,
+) -> bool:
+    """``True`` iff every read in the history occurs on time."""
+    return not late_reads(history, delta, epsilon)
+
+
+def is_timed_serialization(
+    history: History,
+    sequence: Sequence[Operation],
+    delta: float,
+    epsilon: float = 0.0,
+) -> bool:
+    """Definition-level check: is this particular (legal) sequence timed?
+
+    The writer of each read is taken from the *sequence* (the most recent
+    preceding write to the object), which for legal sequences over
+    unique-value histories coincides with the value-determined writer.
+    """
+    readers = reads_from_in(sequence, history.initial_value)
+    for read_op, writer in readers.items():
+        if not read_occurs_on_time(history, read_op, delta, epsilon, writer):
+            return False
+    return True
+
+
+def min_timed_delta(
+    history: History,
+    epsilon: float = 0.0,
+) -> float:
+    """The smallest ``delta`` for which every read of the history occurs on
+    time (the *timedness threshold* used by the Figure 4b/5/6 benches).
+
+    For each read ``r`` (with writer ``w``) and each newer same-object write
+    ``w'`` with ``T(w) + epsilon < T(w')``, on-time requires
+    ``T(w') + epsilon >= T(r) - delta``, i.e. ``delta >= T(r) - T(w') -
+    epsilon``.  The threshold is the max of those lower bounds (0 if there
+    are none); because Definition 1's window is strict, the threshold value
+    itself already satisfies timedness.
+    """
+    worst = 0.0
+    for read_op in history.reads:
+        writer = history.writer_of(read_op)
+        t_w = -math.inf if writer is None else writer.time
+        for cand in history.writes_to(read_op.obj):
+            if cand is writer:
+                continue
+            if t_w + epsilon < cand.time:
+                bound = read_op.time - cand.time - epsilon
+                if bound > worst:
+                    worst = bound
+    return worst
+
+
+# -- Definition 6: logical clocks -------------------------------------------
+
+
+def w_r_set_logical(
+    history: History,
+    read_op: Operation,
+    delta: float,
+    xi: XiMap,
+    writer: Optional[Operation] = None,
+) -> List[Operation]:
+    """``W_r`` under Definition 6: physical times replaced by xi(L(op)).
+
+    Every operation involved must carry a logical timestamp (``ltime``).
+    A read of the initial value is treated as reading from a virtual write
+    with ``xi = -inf``.
+    """
+    if not read_op.is_read:
+        raise ValueError(f"{read_op!r} is not a read")
+    if read_op.ltime is None:
+        raise ValueError(f"{read_op!r} carries no logical timestamp")
+    if writer is None:
+        writer = history.writer_of(read_op)
+    if writer is not None and writer.ltime is None:
+        raise ValueError(f"{writer!r} carries no logical timestamp")
+    xi_w = -math.inf if writer is None else xi(writer.ltime)
+    xi_r = xi(read_op.ltime)
+    out: List[Operation] = []
+    for cand in history.writes_to(read_op.obj):
+        if cand is writer:
+            continue
+        if cand.ltime is None:
+            raise ValueError(f"{cand!r} carries no logical timestamp")
+        xi_c = xi(cand.ltime)
+        # "xi_c < xi_r - delta" written as a bound on delta, consistent
+        # with :func:`min_timed_delta_logical`.
+        if xi_w < xi_c and delta < xi_r - xi_c:
+            out.append(cand)
+    return out
+
+
+def read_occurs_on_time_logical(
+    history: History,
+    read_op: Operation,
+    delta: float,
+    xi: XiMap,
+    writer: Optional[Operation] = None,
+) -> bool:
+    """``True`` iff the Definition-6 ``W_r`` is empty."""
+    return not w_r_set_logical(history, read_op, delta, xi, writer)
+
+
+def all_reads_on_time_logical(history: History, delta: float, xi: XiMap) -> bool:
+    """``True`` iff every read occurs on time under Definition 6."""
+    return all(
+        read_occurs_on_time_logical(history, r, delta, xi) for r in history.reads
+    )
+
+
+def min_timed_delta_logical(history: History, xi: XiMap) -> float:
+    """Smallest Definition-6 ``delta`` making every read on time."""
+    worst = 0.0
+    for read_op in history.reads:
+        writer = history.writer_of(read_op)
+        xi_w = -math.inf if writer is None else xi(writer.ltime)
+        xi_r = xi(read_op.ltime)
+        for cand in history.writes_to(read_op.obj):
+            if cand is writer:
+                continue
+            xi_c = xi(cand.ltime)
+            if xi_w < xi_c:
+                bound = xi_r - xi_c
+                if bound > worst:
+                    worst = bound
+    return worst

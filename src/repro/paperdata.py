@@ -1,0 +1,277 @@
+"""The paper's worked example executions, encoded as histories.
+
+The PODC '99 text gives full operation sequences for Figures 1, 5 and 6 but
+(in the transcription we work from) only a handful of effective times
+survive.  Those stated times are kept exactly:
+
+* Figure 5: ``w0(C)6 @ 338``, ``w2(C)7 @ 340``, ``r4(C)6 @ 436``
+  (436 - 340 = 96), ``w2(B)5 @ 274``, ``r3(B)2 @ 301`` (301 - 274 = 27);
+* Figure 6: ``w2(C)3 @ 98``, second ``r4(C)0 @ 155`` (155 - 98 = 57).
+
+All other effective times are **reconstructed**: they respect per-site
+program order, keep each figure's claimed classification (Figure 5 is SC
+but not LIN; Figure 6 is CC but not SC) and do not disturb the stated
+thresholds for the reads the paper discusses.  EXPERIMENTS.md records which
+numbers are paper-exact and which depend on the reconstruction.
+
+Figure 1 has no explicit times at all; we use the common reconstruction
+(an early write of 1, a later write of 7 by another site, and a site that
+keeps reading 1) with ``FIGURE1_DELTA = 60`` chosen so the narrative holds:
+the first two reads are on time, LIN is already broken by the second read,
+and later reads make the execution untimed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.history import History
+from repro.core.operations import Operation, read, write
+
+#: The delta the shaded span of Figure 1 represents (reconstructed).
+FIGURE1_DELTA = 60.0
+
+#: Paper-exact thresholds quoted in the Figure 5 narrative.
+FIGURE5_DELTA_VIOLATING = 50.0
+FIGURE5_THRESHOLD_C = 96.0  # r4(C)6 @436 vs w2(C)7 @340
+FIGURE5_THRESHOLD_B = 27.0  # r3(B)2 @301 vs w2(B)5 @274
+
+#: Paper-exact data quoted in the Figure 6 narrative.
+FIGURE6_DELTA_VIOLATING = 30.0
+FIGURE6_LATE_READ_TIME = 155.0
+FIGURE6_MISSED_WRITE_TIME = 98.0
+
+
+def figure1() -> History:
+    """Figure 1: sequentially consistent but not timed (and not LIN).
+
+    One site writes ``x = 1``, another later writes ``x = 7``; a third site
+    keeps reading 1.  SC can serialize the write of 7 before the write of 1,
+    but the reads get staler and staler in real time.
+    """
+    return History(
+        [
+            write(1, "x", 1, 50.0),
+            write(0, "x", 7, 100.0),
+            read(2, "x", 1, 60.0),
+            read(2, "x", 1, 140.0),
+            read(2, "x", 1, 250.0),
+            read(2, "x", 1, 420.0),
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class OnTimeScenario:
+    """The single-read scenario of Figures 2 and 3.
+
+    One object, writes ``w1, w, w2, w3, w4`` in time order, and a read
+    ``r`` that returns ``w``'s value.  Under Definition 1 (perfect clocks)
+    ``W_r = {w2, w3}`` so the read is late; under Definition 2 with the
+    figure's ``epsilon`` the window shrinks by ``2 * epsilon`` and the read
+    is on time.
+    """
+
+    delta: float
+    epsilon: float
+    history: History
+
+    @property
+    def the_read(self) -> Operation:
+        return self.history.reads[0]
+
+
+def figures2_3() -> OnTimeScenario:
+    """The arrangement of Figures 2-3 with delta = 40 and epsilon = 40.
+
+    Times: w1@20, w@60, w2@100, w3@140, w4@170, r@200 (cutoff
+    ``T(r) - delta = 160``).  Definition 1: ``60 < 100, 140 < 160`` puts w2
+    and w3 in ``W_r``.  Definition 2 with epsilon = 40: w and w2 become
+    concurrent (60 + 40 >= 100) and w3 cannot be shown to precede the
+    cutoff (140 + 40 >= 160), so ``W_r`` is empty.
+    """
+    ops: List[Operation] = [
+        write(0, "X", "v1", 20.0),
+        write(1, "X", "v", 60.0),
+        write(2, "X", "v2", 100.0),
+        write(3, "X", "v3", 140.0),
+        write(4, "X", "v4", 170.0),
+        read(5, "X", "v", 200.0),
+    ]
+    return OnTimeScenario(delta=40.0, epsilon=40.0, history=History(ops, initial_value=None))
+
+
+def figure5() -> History:
+    """Figure 5(a): a sequentially consistent execution over objects A, B, C.
+
+    Stated times are kept exactly; the rest are reconstructed (see module
+    docstring).  The serialization of Figure 5(b) is available from
+    :func:`figure5_serialization` and proves SC.
+    """
+    return History(
+        [
+            # Site 0
+            write(0, "B", 4, 105.0),
+            write(0, "C", 6, 338.0),  # paper-exact
+            read(0, "A", 9, 360.0),
+            read(0, "B", 5, 385.0),
+            # Site 1
+            read(1, "B", 2, 148.0),
+            read(1, "A", 0, 185.0),
+            write(1, "A", 9, 345.0),
+            read(1, "B", 5, 390.0),
+            read(1, "C", 7, 433.0),
+            # Site 2
+            write(2, "C", 3, 89.0),
+            read(2, "A", 0, 135.0),
+            write(2, "B", 5, 274.0),  # paper-exact
+            write(2, "C", 7, 340.0),  # paper-exact
+            write(2, "A", 8, 380.0),
+            write(2, "A", 10, 420.0),
+            # Site 3
+            read(3, "B", 0, 65.0),
+            write(3, "B", 1, 91.0),
+            read(3, "A", 0, 140.0),
+            read(3, "B", 2, 301.0),  # paper-exact
+            read(3, "B", 5, 377.0),
+            # Site 4
+            read(4, "C", 0, 35.0),
+            write(4, "B", 2, 130.0),
+            read(4, "C", 3, 228.0),
+            read(4, "C", 6, 436.0),  # paper-exact
+            read(4, "C", 7, 480.0),
+        ]
+    )
+
+
+def figure5_serialization(history: History) -> List[Operation]:
+    """The explicit Figure 5(b) serialization (program-order respecting)."""
+    labels = [
+        "r4(C)0", "r3(B)0", "w0(B)4", "w2(C)3", "r2(A)0", "w3(B)1",
+        "r3(A)0", "w4(B)2", "r4(C)3", "r3(B)2", "r1(B)2", "r1(A)0",
+        "w0(C)6", "w1(A)9", "r0(A)9", "w2(B)5", "r1(B)5", "r0(B)5",
+        "r3(B)5", "r4(C)6", "w2(C)7", "r1(C)7", "r4(C)7", "w2(A)8",
+        "w2(A)10",
+    ]
+    return _by_labels(history, labels)
+
+
+def figure6() -> History:
+    """Figure 6(a): causally consistent but not sequentially consistent.
+
+    ``r0(B)4`` (site 0 re-reading its own stale B after observing A = 9)
+    disallows a single global serialization; per-site causal
+    serializations exist (Figure 6(b)).
+
+    Reconstruction note: the transcription we work from garbles several
+    operation values, and the literally transcribed multiset *is*
+    sequentially consistent (our checker exhibits a witness).  To restore
+    the paper's claimed classification we let site 3 observe the two
+    concurrent B writes in the order 4-then-2 (``r3(B)4`` at 290).  Then
+    ``w0(B)4 < w4(B)2`` is forced by site 3, while site 0's final
+    ``r0(B)4`` — which causally follows ``w4(B)2`` through ``w1(A)9`` —
+    needs ``w0(B)4`` to be the most recent B write, a contradiction.  That
+    is exactly the failure the paper attributes to ``r0(B)4``.
+    """
+    return History(
+        [
+            # Site 0
+            write(0, "B", 4, 110.0),
+            write(0, "C", 6, 210.0),
+            read(0, "A", 9, 310.0),
+            read(0, "B", 4, 400.0),
+            # Site 1
+            read(1, "B", 2, 120.0),
+            read(1, "A", 0, 180.0),
+            write(1, "A", 9, 260.0),
+            read(1, "B", 2, 350.0),
+            read(1, "C", 7, 440.0),
+            # Site 2
+            write(2, "C", 3, 98.0),  # paper-exact
+            read(2, "A", 0, 160.0),
+            write(2, "B", 5, 230.0),
+            write(2, "C", 7, 300.0),
+            write(2, "A", 8, 370.0),
+            write(2, "A", 10, 450.0),
+            # Site 3 (r3(B)4 is reconstructed: see docstring)
+            read(3, "B", 0, 70.0),
+            write(3, "B", 1, 125.0),
+            read(3, "A", 0, 200.0),
+            read(3, "B", 4, 290.0),
+            read(3, "B", 2, 410.0),
+            # Site 4
+            read(4, "C", 0, 40.0),
+            write(4, "B", 2, 100.0),
+            read(4, "C", 0, 155.0),  # paper-exact
+            read(4, "C", 3, 320.0),
+            read(4, "C", 7, 430.0),
+        ]
+    )
+
+
+def figure6_serializations(history: History) -> dict:
+    """The per-site serializations of Figure 6(b): for each site ``i``, a
+    legal serialization of ``H_{i+w}`` respecting causal order.
+
+    S0, S1, S2 and S4 are the paper's own (modulo the garbled values the
+    transcription lost); S3 is adapted to the reconstructed ``r3(B)4``
+    (see :func:`figure6`'s docstring).
+    """
+    sequences = {
+        0: [
+            "w4(B)2", "w0(B)4", "w0(C)6", "w1(A)9", "r0(A)9", "r0(B)4",
+            "w2(C)3", "w2(B)5", "w2(C)7", "w2(A)8", "w2(A)10", "w3(B)1",
+        ],
+        1: [
+            "w2(C)3", "w2(B)5", "w4(B)2", "r1(B)2", "r1(A)0", "w1(A)9",
+            "r1(B)2", "w2(C)7", "r1(C)7", "w0(B)4", "w0(C)6", "w2(A)8",
+            "w2(A)10", "w3(B)1",
+        ],
+        2: [
+            "w2(C)3", "r2(A)0", "w2(B)5", "w2(C)7", "w2(A)8", "w2(A)10",
+            "w4(B)2", "w0(B)4", "w0(C)6", "w1(A)9", "w3(B)1",
+        ],
+        3: [
+            "r3(B)0", "w3(B)1", "r3(A)0", "w0(B)4", "r3(B)4", "w4(B)2",
+            "r3(B)2", "w2(C)3", "w2(B)5", "w2(C)7", "w0(C)6", "w1(A)9",
+            "w2(A)8", "w2(A)10",
+        ],
+        4: [
+            "r4(C)0", "w4(B)2", "r4(C)0", "w2(C)3", "w2(B)5", "r4(C)3",
+            "w2(C)7", "r4(C)7", "w0(B)4", "w0(C)6", "w1(A)9", "w2(A)8",
+            "w2(A)10", "w3(B)1",
+        ],
+    }
+    return {
+        site: _by_labels(history, labels) for site, labels in sequences.items()
+    }
+
+
+def figure6_late_read(history: History) -> Operation:
+    """The second ``r4(C)0`` (at 155) that violates TCC for delta = 30."""
+    reads = [
+        op
+        for op in history.site_ops(4)
+        if op.is_read and op.obj == "C" and op.value == 0
+    ]
+    return reads[1]
+
+
+def _by_labels(history: History, labels: List[str]) -> List[Operation]:
+    """Resolve paper-style labels to this history's operations, in order.
+
+    Duplicate labels (repeated reads of the same value) resolve in program
+    order.
+    """
+    pools = {}
+    for op in sorted(history.operations, key=lambda o: o.time):
+        pools.setdefault(op.label(), []).append(op)
+    out: List[Operation] = []
+    taken = {label: 0 for label in pools}
+    for label in labels:
+        if label not in pools or taken[label] >= len(pools[label]):
+            raise KeyError(f"label {label} not found (or exhausted) in history")
+        out.append(pools[label][taken[label]])
+        taken[label] += 1
+    return out

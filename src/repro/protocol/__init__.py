@@ -1,0 +1,34 @@
+"""Lifetime-based consistency protocols (Section 5 of the paper)."""
+
+from repro.protocol import messages
+from repro.protocol.cache_client import (
+    CausalCacheClient,
+    StalenessAction,
+    TimedCacheClient,
+)
+from repro.protocol.cluster import VARIANTS, Cluster
+from repro.protocol.server import (
+    CausalServer,
+    ObjectDirectory,
+    PhysicalServer,
+    PushPolicy,
+)
+from repro.protocol.stats import ClientStats
+from repro.protocol.versions import CacheEntry, LogicalVersion, PhysicalVersion
+
+__all__ = [
+    "CacheEntry",
+    "CausalCacheClient",
+    "CausalServer",
+    "ClientStats",
+    "Cluster",
+    "LogicalVersion",
+    "ObjectDirectory",
+    "PhysicalServer",
+    "PhysicalVersion",
+    "PushPolicy",
+    "StalenessAction",
+    "TimedCacheClient",
+    "VARIANTS",
+    "messages",
+]

@@ -1,0 +1,695 @@
+"""Cache clients implementing the lifetime consistency protocols.
+
+:class:`TimedCacheClient` implements the physical-clock protocol of
+Sections 5.1-5.2: rules 1-2 give sequential consistency, and rule 3 —
+``Context_i := max(t_i - delta, Context_i)`` — upgrades it to TSC(delta).
+``delta = math.inf`` disables rule 3 and yields the plain SC protocol;
+``delta = 0`` makes every access revalidate (local caches become useless,
+the LIN end of Figure 4b).
+
+:class:`CausalCacheClient` implements the logical-clock protocol of
+Section 5.3: lifetimes and ``Context_i`` are vector timestamps, and the
+TCC upgrade adds the *checking time* ``beta`` — a version whose ``beta``
+is older than ``t_i - delta`` must be revalidated before use.
+
+Design notes (see DESIGN.md):
+
+* **Writes are synchronous**: a write completes when the object's server
+  acknowledges installation.  This guarantees (a) a site's writes reach
+  the server in program order, and (b) any write in a client's causal past
+  is installed before anything causally after it executes.  Consequence:
+  a version fetched from an object's (single, authoritative) server is
+  never older than any write to that object in the client's causal past,
+  so a fetched version may always be accepted; when the server-reported
+  ending time is behind ``Context_i`` (the cross-server case the paper
+  handles by "contacting other servers"), we advance the ending time to
+  ``Context_i`` by this argument and count it in
+  ``stats.fetch_check_failures``.
+* **Invalidate vs mark-old**: the Context rules can either drop a stale
+  entry (next access pays a full fetch) or mark it *old* (next access pays
+  an if-modified-since validation, Section 5.2's optimization).  The
+  ``staleness_action`` knob selects the policy; the ablation bench
+  measures the traffic difference.
+* Reads complete either immediately (fresh cache hit) or after a
+  fetch/validate round trip; the *effective time* recorded in the trace is
+  the ground-truth simulation time at completion, and a write's effective
+  time is the instant the server installed it — both inside the
+  operation's execution interval, as Section 2 requires.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from typing import Any, Callable, Dict, Optional
+
+from repro.clocks.base import Ordering
+from repro.clocks.vector import VectorClock, VectorTimestamp
+from repro.protocol import messages
+from repro.protocol.server import ObjectDirectory
+from repro.protocol.stats import ClientStats
+from repro.protocol.versions import CacheEntry, LogicalVersion, PhysicalVersion
+from repro.sim.kernel import Event, Simulator
+from repro.sim.network import Message, Network
+from repro.sim.node import Node
+from repro.sim.trace import TraceRecorder
+
+
+class StalenessAction(enum.Enum):
+    """What the Context rules do to an entry that fell behind."""
+
+    INVALIDATE = "invalidate"  # drop: next access is a full fetch
+    MARK_OLD = "mark-old"  # keep: next access validates (Section 5.2)
+
+
+class _PendingRead:
+    """Bookkeeping for a read awaiting a server reply."""
+
+    __slots__ = ("obj", "event", "issued_at", "was_validation", "resend")
+
+    def __init__(self, obj: str, event: Event, issued_at: float, was_validation: bool):
+        self.obj = obj
+        self.event = event
+        self.issued_at = issued_at
+        self.was_validation = was_validation
+        self.resend = None  # set by _arm_retry
+
+
+class _PendingWrite:
+    """Bookkeeping for a write awaiting the server's ack."""
+
+    __slots__ = ("obj", "value", "event", "issued_at", "ltime", "resend")
+
+    def __init__(self, obj: str, value: Any, event: Event, issued_at: float, ltime=None):
+        self.obj = obj
+        self.value = value
+        self.event = event
+        self.issued_at = issued_at
+        self.ltime = ltime
+        self.resend = None  # set by _arm_retry
+
+
+class _RetryMixin:
+    """Request retransmission for lossy networks.
+
+    When ``retry_timeout`` is set, every outstanding request re-sends
+    itself until a reply arrives.  The same request id is reused, so a
+    duplicate reply simply finds no pending entry and is ignored (replies
+    are idempotent: VERSION installs are last-writer-wins, STILL_VALID
+    only advances ending times, and a duplicated WRITE re-installs the
+    same unique value with a later start time, which is indistinguishable
+    from the write having taken effect slightly later).
+    """
+
+    retry_timeout: Optional[float] = None
+
+    def _arm_retry(self, req: int, resend: Callable[[], None]) -> None:
+        pending = self._pending.get(req)
+        if pending is not None:
+            pending.resend = resend
+        if self.retry_timeout is not None:
+            self.sim.schedule(self.retry_timeout, self._maybe_retry, req)
+
+    def _maybe_retry(self, req: int) -> None:
+        pending = self._pending.get(req)
+        if pending is None or pending.resend is None:
+            return
+        self.stats.retries += 1
+        pending.resend()
+        self.sim.schedule(self.retry_timeout, self._maybe_retry, req)
+
+
+class TimedCacheClient(Node, _RetryMixin):
+    """Physical-clock lifetime cache: SC when ``delta`` is infinite,
+    TSC(delta) otherwise."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: Network,
+        directory: ObjectDirectory,
+        delta: float = math.inf,
+        staleness_action: StalenessAction = StalenessAction.MARK_OLD,
+        recorder: Optional[TraceRecorder] = None,
+        clock=None,
+        retry_timeout: Optional[float] = None,
+        delta_overrides: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """``delta_overrides`` maps object names to per-object freshness
+        bounds — the S-DSO idea of West et al. [41] that the paper's
+        Section 4 cites: applications specify *which* objects must be seen
+        how quickly.  An override tighter than ``delta`` forces earlier
+        revalidation of that object only; looser overrides relax it.
+        """
+        super().__init__(node_id, sim, network, clock)
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        if retry_timeout is not None and retry_timeout <= 0:
+            raise ValueError(f"retry_timeout must be positive, got {retry_timeout}")
+        if delta_overrides and any(d < 0 for d in delta_overrides.values()):
+            raise ValueError("delta overrides must be non-negative")
+        self.directory = directory
+        self.delta = delta
+        self.delta_overrides = dict(delta_overrides or {})
+        self.staleness_action = staleness_action
+        self.recorder = recorder
+        self.retry_timeout = retry_timeout
+        self.cache: Dict[str, CacheEntry] = {}
+        self.context = 0.0
+        self.stats = ClientStats()
+        self._requests = itertools.count()
+        self._pending: Dict[int, Any] = {}
+
+    def delta_for(self, obj: str) -> float:
+        """The freshness bound in force for ``obj``."""
+        return self.delta_overrides.get(obj, self.delta)
+
+    # -- public operation API ----------------------------------------------
+
+    def read(self, obj: str) -> Event:
+        """Start a read; the returned event succeeds with the value."""
+        self.stats.reads += 1
+        self._apply_rule3()
+        entry = self.cache.get(obj)
+        event = self.sim.event()
+        if entry is not None and self._usable(entry):
+            entry.hits += 1
+            self.stats.fresh_hits += 1
+            self.stats.read_latencies.append(0.0)
+            self._record_read(obj, entry.version.value)
+            event.succeed(entry.version.value)
+            return event
+        req = next(self._requests)
+        issued = self.sim.now
+        if entry is not None:
+            self.stats.validations += 1
+            self._pending[req] = _PendingRead(obj, event, issued, True)
+            payload = {"obj": obj, "alpha": entry.version.alpha, "req": req}
+            send = lambda: self._send_server(obj, messages.VALIDATE, payload)
+        else:
+            self.stats.fetches += 1
+            self._pending[req] = _PendingRead(obj, event, issued, False)
+            payload = {"obj": obj, "req": req}
+            send = lambda: self._send_server(obj, messages.FETCH, payload)
+        send()
+        self._arm_retry(req, send)
+        return event
+
+    def write(self, obj: str, value: Any) -> Event:
+        """Start a write; the returned event succeeds when the server acks."""
+        self.stats.writes += 1
+        event = self.sim.event()
+        req = next(self._requests)
+        issue_time = self.local_time()
+        self._pending[req] = _PendingWrite(obj, value, event, self.sim.now)
+        payload = {
+            "version": PhysicalVersion(obj, value, issue_time, issue_time, self.node_id),
+            "req": req,
+        }
+        send = lambda: self._send_server(obj, messages.WRITE, payload)
+        send()
+        self._arm_retry(req, send)
+        return event
+
+    # -- protocol rules -----------------------------------------------------
+
+    def _apply_rule3(self) -> None:
+        """Rule 3 (Section 5.2): Context_i := max(t_i - delta, Context_i).
+
+        With per-object overrides the global advance uses the *loosest*
+        bound in force (tighter per-object bounds are enforced in
+        :meth:`_usable`), so a loose override is not defeated by the
+        global context."""
+        loosest = self.delta
+        if self.delta_overrides:
+            loosest = max(loosest, max(self.delta_overrides.values()))
+        if math.isinf(loosest):
+            return
+        self._advance_context(self.local_time() - loosest)
+
+    def _advance_context(self, candidate: float) -> None:
+        """Raise Context_i and demote every entry whose ending time fell
+        behind it (rule 1's invalidation clause)."""
+        if candidate <= self.context:
+            return
+        self.context = candidate
+        for obj, entry in list(self.cache.items()):
+            if entry.version.omega < self.context and not entry.old:
+                if self.staleness_action is StalenessAction.INVALIDATE:
+                    del self.cache[obj]
+                    self.stats.invalidations += 1
+                else:
+                    entry.mark_old()
+                    self.stats.marked_old += 1
+
+    def _usable(self, entry: CacheEntry) -> bool:
+        """May this cached version be returned with no messages?"""
+        if entry.old or entry.version.omega < self.context:
+            return False
+        bound = self.delta_for(entry.version.obj)
+        if not math.isinf(bound):
+            if entry.version.omega < self.local_time() - bound:
+                return False
+        return True
+
+    def usable_snapshot(self) -> Dict[str, PhysicalVersion]:
+        """The versions this cache would serve right now, per object."""
+        return {
+            obj: entry.version
+            for obj, entry in self.cache.items()
+            if self._usable(entry)
+        }
+
+    def snapshot_mutually_consistent(self) -> bool:
+        """Section 5.1's cache-consistency invariant: the usable entries'
+        lifetimes pairwise overlap (max start time <= min ending time), so
+        all served values coexisted at some instant.  Holds by
+        construction — ``Context_i`` is the max start time ever seen and
+        usable entries have ``omega >= Context_i`` — and is asserted by
+        the tests as a protocol invariant."""
+        versions = list(self.usable_snapshot().values())
+        if not versions:
+            return True
+        max_alpha = max(v.alpha for v in versions)
+        min_omega = min(v.omega for v in versions)
+        return max_alpha <= min_omega
+
+    # -- message handling ----------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == messages.VERSION:
+            self._on_version(message)
+        elif message.kind == messages.STILL_VALID:
+            self._on_still_valid(message)
+        elif message.kind == messages.WRITE_ACK:
+            self._on_write_ack(message)
+        elif message.kind == messages.PUSH:
+            self._on_push(message)
+        elif message.kind == messages.INVALIDATE:
+            self._on_invalidate(message)
+        else:
+            raise ValueError(f"{self!r} cannot handle {message.kind}")
+
+    def _on_version(self, message: Message) -> None:
+        version: PhysicalVersion = message.payload["version"]
+        pending = self._pending.pop(message.payload.get("req"), None)
+        self._install_fetched(version)
+        if pending is not None:
+            if pending.was_validation:
+                self.stats.refreshed += 1
+            self._complete_read(pending, version.value)
+
+    def _install_fetched(self, version: PhysicalVersion) -> None:
+        """Rule 1: Context_i := max(alpha, Context_i); sweep; store."""
+        if version.omega < self.context:
+            # Cross-server case: sound to accept because writes are
+            # synchronous (see module docstring).
+            self.stats.fetch_check_failures += 1
+            version.advance_omega(self.context)
+        self._advance_context(version.alpha)
+        entry = self.cache.get(version.obj)
+        if entry is None:
+            self.cache[version.obj] = CacheEntry(version, fetched_at=self.sim.now)
+        else:
+            entry.refresh(version, self.sim.now)
+
+    def _on_still_valid(self, message: Message) -> None:
+        obj = message.payload["obj"]
+        omega = message.payload["omega"]
+        pending = self._pending.pop(message.payload.get("req"), None)
+        entry = self.cache.get(obj)
+        value = None
+        if entry is not None:
+            entry.version.advance_omega(omega)
+            entry.old = False
+            value = entry.version.value
+        if pending is not None:
+            self.stats.revalidated += 1
+            self._complete_read(pending, value)
+
+    def _on_write_ack(self, message: Message) -> None:
+        pending: Optional[_PendingWrite] = self._pending.pop(
+            message.payload["req"], None
+        )
+        if pending is None:
+            return  # duplicate ack from a retransmitted write
+        alpha = message.payload["alpha"]
+        true_time = message.payload["true_time"]
+        version = PhysicalVersion(
+            pending.obj, pending.value, alpha, alpha, self.node_id
+        )
+        # Rule 2: Context_i := X_i_alpha := t (install time).
+        self._advance_context(alpha)
+        entry = self.cache.get(pending.obj)
+        if entry is None:
+            self.cache[pending.obj] = CacheEntry(version, fetched_at=self.sim.now)
+        else:
+            entry.refresh(version, self.sim.now)
+        if self.recorder is not None:
+            self.recorder.record_write(
+                self.node_id, pending.obj, pending.value, true_time,
+                start=pending.issued_at, end=self.sim.now,
+            )
+        pending.event.succeed(alpha)
+
+    def _on_push(self, message: Message) -> None:
+        version: PhysicalVersion = message.payload["version"]
+        self.stats.pushes += 1
+        entry = self.cache.get(version.obj)
+        if entry is None or version.alpha > entry.version.alpha:
+            self._install_fetched(version)
+
+    def _on_invalidate(self, message: Message) -> None:
+        obj = message.payload["obj"]
+        alpha = message.payload["alpha"]
+        self.stats.push_invalidations += 1
+        entry = self.cache.get(obj)
+        if entry is not None and entry.version.alpha < alpha:
+            if self.staleness_action is StalenessAction.INVALIDATE:
+                del self.cache[obj]
+                self.stats.invalidations += 1
+            else:
+                entry.mark_old()
+                self.stats.marked_old += 1
+
+    # -- helpers --------------------------------------------------------------
+
+    def _send_server(self, obj: str, kind: str, payload: Dict[str, Any]) -> None:
+        self.send(
+            self.directory.server_for(obj), kind, payload, size=messages.size_of(kind)
+        )
+
+    def _complete_read(self, pending: _PendingRead, value: Any) -> None:
+        self.stats.read_latencies.append(self.sim.now - pending.issued_at)
+        self._record_read(pending.obj, value, start=pending.issued_at)
+        pending.event.succeed(value)
+
+    def _record_read(self, obj: str, value: Any, start: Optional[float] = None) -> None:
+        if self.recorder is not None:
+            self.recorder.record_read(
+                self.node_id, obj, value, self.sim.now,
+                start=self.sim.now if start is None else start,
+                end=self.sim.now,
+            )
+
+
+class CausalCacheClient(Node, _RetryMixin):
+    """Vector-clock lifetime cache: CC when ``delta`` is infinite,
+    TCC(delta) otherwise (via the checking time ``beta``)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: Network,
+        directory: ObjectDirectory,
+        slot: int,
+        vector_width: int,
+        delta: float = math.inf,
+        staleness_action: StalenessAction = StalenessAction.MARK_OLD,
+        recorder: Optional[TraceRecorder] = None,
+        clock=None,
+        lclock=None,
+        zero_timestamp=None,
+        retry_timeout: Optional[float] = None,
+        delta_overrides: Optional[Dict[str, float]] = None,
+    ) -> None:
+        """``lclock``/``zero_timestamp`` override the default exact vector
+        clock, e.g. with a constant-size plausible clock
+        (:class:`repro.clocks.plausible.REVClock`).  Plausible timestamps
+        keep the protocol *safe in the causal direction they report*, but
+        their folding can hide a genuine supersession, so causal
+        consistency becomes approximate; the bench suite measures the
+        violation rate as a function of clock precision.
+
+        ``delta_overrides`` gives per-object freshness bounds (the S-DSO
+        idea [41]); see :class:`TimedCacheClient`.
+        """
+        super().__init__(node_id, sim, network, clock)
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        if retry_timeout is not None and retry_timeout <= 0:
+            raise ValueError(f"retry_timeout must be positive, got {retry_timeout}")
+        if delta_overrides and any(d < 0 for d in delta_overrides.values()):
+            raise ValueError("delta overrides must be non-negative")
+        self.directory = directory
+        self.delta = delta
+        self.delta_overrides = dict(delta_overrides or {})
+        self.staleness_action = staleness_action
+        self.recorder = recorder
+        self.retry_timeout = retry_timeout
+        self.vclock = lclock if lclock is not None else VectorClock(slot, vector_width)
+        self.cache: Dict[str, CacheEntry] = {}
+        self.context = (
+            zero_timestamp
+            if zero_timestamp is not None
+            else VectorTimestamp.zero(vector_width)
+        )
+        self.stats = ClientStats()
+        self._requests = itertools.count()
+        self._pending: Dict[int, Any] = {}
+
+    # -- public operation API ----------------------------------------------
+
+    def read(self, obj: str) -> Event:
+        """Start a read; the returned event succeeds with the value."""
+        self.stats.reads += 1
+        entry = self.cache.get(obj)
+        event = self.sim.event()
+        if entry is not None and self._usable(entry):
+            entry.hits += 1
+            self.stats.fresh_hits += 1
+            self.stats.read_latencies.append(0.0)
+            self._record_read(obj, entry.version.value)
+            event.succeed(entry.version.value)
+            return event
+        req = next(self._requests)
+        issued = self.sim.now
+        if entry is not None:
+            self.stats.validations += 1
+            self._pending[req] = _PendingRead(obj, event, issued, True)
+            payload = {
+                "obj": obj,
+                "alpha": entry.version.alpha,
+                "context": self.context,
+                "req": req,
+            }
+            send = lambda: self._send_server(obj, messages.VALIDATE, payload)
+        else:
+            self.stats.fetches += 1
+            self._pending[req] = _PendingRead(obj, event, issued, False)
+            payload = {"obj": obj, "context": self.context, "req": req}
+            send = lambda: self._send_server(obj, messages.FETCH, payload)
+        send()
+        self._arm_retry(req, send)
+        return event
+
+    def write(self, obj: str, value: Any) -> Event:
+        """Start a write; the returned event succeeds when the server acks.
+
+        The write is a local event: the vector clock ticks and the
+        version's start time is the new local timestamp (rule 2 adapted to
+        logical clocks: ``Context_i := alpha := local logical time``).
+        """
+        self.stats.writes += 1
+        alpha = self.vclock.tick()
+        self.context = self.context.join(alpha)
+        issue_time = self.local_time()
+        version = LogicalVersion(
+            obj, value, alpha=alpha, omega=alpha, writer=self.node_id,
+            beta=issue_time, birth=issue_time,
+        )
+        # Local copies advance with the local logical clock and are never
+        # invalidated by a local update (Section 5.3).
+        for entry in self.cache.values():
+            entry.version.advance_omega(alpha)
+        entry = self.cache.get(obj)
+        if entry is None:
+            self.cache[obj] = CacheEntry(version.copy(), fetched_at=self.sim.now)
+        else:
+            entry.refresh(version.copy(), self.sim.now)
+        event = self.sim.event()
+        req = next(self._requests)
+        self._pending[req] = _PendingWrite(obj, value, event, self.sim.now, ltime=alpha)
+        payload = {"version": version, "req": req}
+        send = lambda: self._send_server(obj, messages.WRITE, payload)
+        send()
+        self._arm_retry(req, send)
+        return event
+
+    # -- protocol rules -----------------------------------------------------
+
+    def delta_for(self, obj: str) -> float:
+        """The freshness bound in force for ``obj``."""
+        return self.delta_overrides.get(obj, self.delta)
+
+    def _usable(self, entry: CacheEntry) -> bool:
+        """No messages needed iff the entry is not old, its ending time has
+        not fallen causally behind Context_i, and (TCC only) its checking
+        time is within the object's delta of the local clock."""
+        if entry.old:
+            return False
+        if entry.version.omega_causally_before(self.context):
+            return False
+        bound = self.delta_for(entry.version.obj)
+        if not math.isinf(bound):
+            beta = entry.version.beta or 0.0
+            if beta < self.local_time() - bound:
+                return False
+        return True
+
+    def usable_snapshot(self) -> Dict[str, LogicalVersion]:
+        """The versions this cache would serve right now, per object."""
+        return {
+            obj: entry.version
+            for obj, entry in self.cache.items()
+            if self._usable(entry)
+        }
+
+    def snapshot_mutually_consistent(self) -> bool:
+        """Section 5.1's invariant under logical lifetimes: no usable
+        entry's start time is causally after another's ending time (their
+        lifetimes overlap in the causal order, possibly concurrently)."""
+        versions = list(self.usable_snapshot().values())
+        for a in versions:
+            for b in versions:
+                if a is b:
+                    continue
+                if b.omega.compare(a.alpha) is Ordering.BEFORE:
+                    return False
+        return True
+
+    def _sweep(self) -> None:
+        """Invalidate (or mark old) entries causally behind Context_i."""
+        for obj, entry in list(self.cache.items()):
+            if entry.old:
+                continue
+            if entry.version.omega_causally_before(self.context):
+                if self.staleness_action is StalenessAction.INVALIDATE:
+                    del self.cache[obj]
+                    self.stats.invalidations += 1
+                else:
+                    entry.mark_old()
+                    self.stats.marked_old += 1
+
+    # -- message handling ----------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == messages.VERSION:
+            self._on_version(message)
+        elif message.kind == messages.STILL_VALID:
+            self._on_still_valid(message)
+        elif message.kind == messages.WRITE_ACK:
+            self._on_write_ack(message)
+        elif message.kind == messages.PUSH:
+            self._on_push(message)
+        elif message.kind == messages.INVALIDATE:
+            self._on_invalidate(message)
+        else:
+            raise ValueError(f"{self!r} cannot handle {message.kind}")
+
+    def _on_version(self, message: Message) -> None:
+        version: LogicalVersion = message.payload["version"]
+        pending = self._pending.pop(message.payload.get("req"), None)
+        self._install_fetched(version)
+        if pending is not None:
+            if pending.was_validation:
+                self.stats.refreshed += 1
+            self._complete_read(pending, version.value)
+
+    def _install_fetched(self, version: LogicalVersion) -> None:
+        """Rule 1 adapted: Context_i := join(alpha, Context_i); sweep.
+
+        The server already stamped ``omega = alpha join our_context`` (the
+        paper's "ending time not causally before Context_i" requirement),
+        so the check below only fires for pushes or for contexts that grew
+        while the request was in flight; such a version is accepted but
+        left with its smaller omega, so the next access revalidates it.
+        """
+        if version.omega.compare(self.context) is Ordering.BEFORE:
+            self.stats.fetch_check_failures += 1
+        self.vclock.merge(version.alpha)
+        self.context = self.context.join(version.alpha)
+        self._sweep()
+        entry = self.cache.get(version.obj)
+        if entry is None:
+            self.cache[version.obj] = CacheEntry(version, fetched_at=self.sim.now)
+        else:
+            entry.refresh(version, self.sim.now)
+
+    def _on_still_valid(self, message: Message) -> None:
+        obj = message.payload["obj"]
+        pending = self._pending.pop(message.payload.get("req"), None)
+        entry = self.cache.get(obj)
+        value = None
+        if entry is not None:
+            entry.version.advance_omega(message.payload["omega"])
+            beta = message.payload.get("beta")
+            if beta is not None:
+                entry.version.advance_beta(beta)
+            entry.old = False
+            value = entry.version.value
+        if pending is not None:
+            self.stats.revalidated += 1
+            self._complete_read(pending, value)
+
+    def _on_write_ack(self, message: Message) -> None:
+        pending: Optional[_PendingWrite] = self._pending.pop(
+            message.payload["req"], None
+        )
+        if pending is None:
+            return  # duplicate ack from a retransmitted write
+        true_time = message.payload["true_time"]
+        entry = self.cache.get(pending.obj)
+        if entry is not None:
+            beta = message.payload.get("beta")
+            if beta is not None:
+                entry.version.advance_beta(beta)
+        if self.recorder is not None:
+            self.recorder.record_write(
+                self.node_id, pending.obj, pending.value, true_time,
+                ltime=pending.ltime, start=pending.issued_at, end=self.sim.now,
+            )
+        pending.event.succeed(None)
+
+    def _on_push(self, message: Message) -> None:
+        version: LogicalVersion = message.payload["version"]
+        self.stats.pushes += 1
+        entry = self.cache.get(version.obj)
+        if entry is None or version.alpha.compare(entry.version.alpha) is Ordering.AFTER:
+            self._install_fetched(version)
+
+    def _on_invalidate(self, message: Message) -> None:
+        obj = message.payload["obj"]
+        alpha: VectorTimestamp = message.payload["alpha"]
+        self.stats.push_invalidations += 1
+        entry = self.cache.get(obj)
+        if entry is not None and entry.version.alpha.compare(alpha) is Ordering.BEFORE:
+            if self.staleness_action is StalenessAction.INVALIDATE:
+                del self.cache[obj]
+                self.stats.invalidations += 1
+            else:
+                entry.mark_old()
+                self.stats.marked_old += 1
+
+    # -- helpers --------------------------------------------------------------
+
+    def _send_server(self, obj: str, kind: str, payload: Dict[str, Any]) -> None:
+        self.send(
+            self.directory.server_for(obj), kind, payload, size=messages.size_of(kind)
+        )
+
+    def _complete_read(self, pending: _PendingRead, value: Any) -> None:
+        self.stats.read_latencies.append(self.sim.now - pending.issued_at)
+        self._record_read(pending.obj, value, start=pending.issued_at)
+        pending.event.succeed(value)
+
+    def _record_read(self, obj: str, value: Any, start: Optional[float] = None) -> None:
+        if self.recorder is not None:
+            self.recorder.record_read(
+                self.node_id, obj, value, self.sim.now, ltime=self.vclock.now(),
+                start=self.sim.now if start is None else start,
+                end=self.sim.now,
+            )

@@ -1,0 +1,359 @@
+"""Server sites: long-term storage for objects (Section 5.1).
+
+Each object has an authoritative server (``ObjectDirectory`` maps object
+names onto a server ring).  A server stores the current version of each of
+its objects and answers:
+
+* ``FETCH`` — reply with a copy of the current version, with its ending
+  time advanced to the server's present (the server holds the newest
+  version, so it is valid *now*);
+* ``VALIDATE`` — the if-modified-since exchange of Section 5.2: if the
+  client's start time still matches, reply ``STILL_VALID`` (cheap control
+  message) advancing the ending/checking time; otherwise ship the new
+  version;
+* ``WRITE`` — install a client's write-through if it is newer than the
+  stored version (physical: larger start time wins; causal: causally later
+  wins, with a deterministic total tiebreak for concurrent writes).
+
+Optional *push propagation* (Section 5.2's asynchronous component): on
+install, push the fresh version — or a small invalidation, per policy — to
+every subscribed client.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Optional
+
+from repro.clocks.base import Ordering
+from repro.clocks.vector import VectorTimestamp
+from repro.protocol import messages
+from repro.protocol.versions import LogicalVersion, PhysicalVersion
+from repro.sim.kernel import Simulator
+from repro.sim.network import Message, Network
+from repro.sim.node import Node
+
+
+class PushPolicy(enum.Enum):
+    """What a server does towards subscribers when a write is installed."""
+
+    NONE = "none"  # clients discover staleness themselves (pull)
+    INVALIDATE = "invalidate"  # send small invalidations (Cao & Liu style)
+    PUSH = "push"  # ship the new version eagerly
+
+
+class ObjectDirectory:
+    """Maps object names to server node ids (static hash partitioning)."""
+
+    def __init__(self, server_ids: List[int]) -> None:
+        if not server_ids:
+            raise ValueError("need at least one server")
+        self.server_ids = sorted(server_ids)
+
+    def server_for(self, obj: str) -> int:
+        index = hash(obj) % len(self.server_ids)
+        return self.server_ids[index]
+
+
+class PhysicalServer(Node):
+    """Authoritative store for the SC/TSC (physical-clock) protocols."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: Network,
+        initial_value: Any = 0,
+        push_policy: PushPolicy = PushPolicy.NONE,
+        clock=None,
+    ) -> None:
+        super().__init__(node_id, sim, network, clock)
+        self.initial_value = initial_value
+        self.push_policy = push_policy
+        self.store: Dict[str, PhysicalVersion] = {}
+        self.subscribers: List[int] = []
+        self.writes_installed = 0
+        self.writes_discarded = 0
+        # At-most-once write processing: clients have one outstanding
+        # write, so remembering the last (req, ack) per client suffices to
+        # answer retransmissions without re-installing (a re-install after
+        # an interleaved competing write would resurrect the old value).
+        self._last_write_ack: Dict[int, tuple] = {}
+
+    def subscribe(self, client_id: int) -> None:
+        if client_id not in self.subscribers:
+            self.subscribers.append(client_id)
+
+    def current_version(self, obj: str) -> PhysicalVersion:
+        """The stored version, materializing the initial value on demand."""
+        if obj not in self.store:
+            self.store[obj] = PhysicalVersion(
+                obj, self.initial_value, alpha=0.0, omega=0.0, writer=-1
+            )
+        version = self.store[obj]
+        version.advance_omega(self.local_time())
+        return version
+
+    def on_message(self, message: Message) -> None:
+        handler = {
+            messages.FETCH: self._on_fetch,
+            messages.VALIDATE: self._on_validate,
+            messages.WRITE: self._on_write,
+        }.get(message.kind)
+        if handler is None:
+            raise ValueError(f"{self!r} cannot handle {message.kind}")
+        handler(message)
+
+    def _reply(self, message: Message, kind: str, payload: Dict[str, Any]) -> None:
+        payload = dict(payload)
+        payload["req"] = message.payload.get("req")
+        self.send(message.src, kind, payload, size=messages.size_of(kind))
+
+    def _on_fetch(self, message: Message) -> None:
+        obj = message.payload["obj"]
+        version = self.current_version(obj)
+        self._reply(message, messages.VERSION, {"version": version.copy()})
+
+    def _on_validate(self, message: Message) -> None:
+        obj = message.payload["obj"]
+        alpha = message.payload["alpha"]
+        version = self.current_version(obj)
+        if version.alpha == alpha:
+            self._reply(
+                message, messages.STILL_VALID, {"obj": obj, "omega": version.omega}
+            )
+        else:
+            self._reply(message, messages.VERSION, {"version": version.copy()})
+
+    def _on_write(self, message: Message) -> None:
+        incoming: PhysicalVersion = message.payload["version"]
+        req = message.payload.get("req")
+        remembered = self._last_write_ack.get(message.src)
+        if remembered is not None and remembered[0] == req:
+            self.send(message.src, messages.WRITE_ACK, dict(remembered[1]),
+                      size=messages.size_of(messages.WRITE_ACK))
+            return
+        # The install instant is the write's effective time: the server
+        # re-stamps the version with its own clock, which makes the start
+        # times of an object's installed versions monotone.
+        install_time = self.local_time()
+        current = self.store.get(incoming.obj)
+        installed = current is None or install_time > current.alpha
+        if installed:
+            stored = PhysicalVersion(
+                incoming.obj, incoming.value, install_time, install_time,
+                incoming.writer,
+            )
+            self.store[incoming.obj] = stored
+            self.writes_installed += 1
+            self._propagate(stored, exclude=message.src)
+        else:
+            # An equally-stamped concurrent write already holds the slot;
+            # the loser's writer keeps its value cached locally, which is
+            # fine for SC: that client's reads serialize earlier.
+            self.writes_discarded += 1
+        ack = {
+            "obj": incoming.obj,
+            "alpha": install_time,
+            "installed": installed,
+            "true_time": self.sim.now,
+            "req": req,
+        }
+        self._last_write_ack[message.src] = (req, ack)
+        self.send(message.src, messages.WRITE_ACK, dict(ack),
+                  size=messages.size_of(messages.WRITE_ACK))
+
+    def _propagate(self, version: PhysicalVersion, exclude: int) -> None:
+        if self.push_policy is PushPolicy.NONE:
+            return
+        for client_id in self.subscribers:
+            if client_id == exclude:
+                continue
+            if self.push_policy is PushPolicy.PUSH:
+                self.send(
+                    client_id,
+                    messages.PUSH,
+                    {"version": version.copy()},
+                    size=messages.size_of(messages.PUSH),
+                )
+            else:
+                self.send(
+                    client_id,
+                    messages.INVALIDATE,
+                    {"obj": version.obj, "alpha": version.alpha},
+                    size=messages.size_of(messages.INVALIDATE),
+                )
+
+
+class CausalServer(Node):
+    """Authoritative store for the CC/TCC (logical-clock) protocols.
+
+    The server keeps a running *knowledge* vector — the join of every
+    timestamp it has seen.  A fetched version's ending time is
+    ``alpha join requester_context``: because writes are synchronous and
+    each object has a single home server, every write to the object that
+    lies in the requester's causal past is already installed here, so the
+    current version is valid with respect to the requester's entire
+    context.  (Using the server's global knowledge instead would be
+    unsound: it contains entries for unrelated clients' activity, which
+    makes the ending time spuriously concurrent with later contexts and
+    lets a cache serve a value that a causally newer same-object write
+    should have superseded.)  The checking time ``beta`` is the server's
+    physical now.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: Network,
+        vector_width: int,
+        initial_value: Any = 0,
+        push_policy: PushPolicy = PushPolicy.NONE,
+        clock=None,
+        zero_timestamp=None,
+    ) -> None:
+        super().__init__(node_id, sim, network, clock)
+        self.initial_value = initial_value
+        self.push_policy = push_policy
+        self.vector_width = vector_width
+        self.zero_timestamp = (
+            zero_timestamp
+            if zero_timestamp is not None
+            else VectorTimestamp.zero(vector_width)
+        )
+        self.knowledge = self.zero_timestamp
+        self.store: Dict[str, LogicalVersion] = {}
+        self.subscribers: List[int] = []
+        self.writes_installed = 0
+        self.writes_discarded = 0
+        self._last_write_ack: Dict[int, tuple] = {}
+
+    def subscribe(self, client_id: int) -> None:
+        if client_id not in self.subscribers:
+            self.subscribers.append(client_id)
+
+    def current_version(
+        self, obj: str, requester_context: Optional[VectorTimestamp] = None
+    ) -> LogicalVersion:
+        """A *copy* of the stored version, tailored to the requester.
+
+        The stored version's own ending time stays at its start time; the
+        reply copy's ending time is ``alpha join requester_context``.
+        Accumulating contexts into the stored version would leak one
+        client's causal past into another's ending time and break the
+        soundness argument above.
+        """
+        if obj not in self.store:
+            zero = self.zero_timestamp
+            self.store[obj] = LogicalVersion(
+                obj, self.initial_value, alpha=zero, omega=zero, writer=-1,
+                beta=0.0,
+            )
+        stored = self.store[obj]
+        stored.advance_beta(self.local_time())
+        reply = stored.copy()
+        if requester_context is not None:
+            reply.advance_omega(requester_context)
+        return reply
+
+    def on_message(self, message: Message) -> None:
+        handler = {
+            messages.FETCH: self._on_fetch,
+            messages.VALIDATE: self._on_validate,
+            messages.WRITE: self._on_write,
+        }.get(message.kind)
+        if handler is None:
+            raise ValueError(f"{self!r} cannot handle {message.kind}")
+        handler(message)
+
+    def _reply(self, message: Message, kind: str, payload: Dict[str, Any]) -> None:
+        payload = dict(payload)
+        payload["req"] = message.payload.get("req")
+        self.send(message.src, kind, payload, size=messages.size_of(kind))
+
+    def _on_fetch(self, message: Message) -> None:
+        obj = message.payload["obj"]
+        version = self.current_version(obj, message.payload.get("context"))
+        self._reply(message, messages.VERSION, {"version": version.copy()})
+
+    def _on_validate(self, message: Message) -> None:
+        obj = message.payload["obj"]
+        alpha: VectorTimestamp = message.payload["alpha"]
+        version = self.current_version(obj, message.payload.get("context"))
+        if version.alpha == alpha:
+            self._reply(
+                message,
+                messages.STILL_VALID,
+                {"obj": obj, "omega": version.omega, "beta": version.beta},
+            )
+        else:
+            self._reply(message, messages.VERSION, {"version": version.copy()})
+
+    @staticmethod
+    def _wins(incoming: LogicalVersion, current: LogicalVersion) -> bool:
+        """Does the incoming write supersede the stored one?
+
+        Causally later always wins; causally older (a stale retransmit,
+        impossible with synchronous writes) loses.  A *concurrent* incoming
+        write wins: each object has a single home server, so arrival order
+        is a total install order, and the install instant is the write's
+        effective time.  Install-order last-writer-wins keeps the stored
+        version the effectively-latest write, which is what makes the TCC
+        delta bound hold — if the effectively-older concurrent write could
+        stay installed, every future read of it would miss the newer one
+        forever, violating Definition 2 by more than the clock precision.
+        """
+        order = incoming.alpha.compare(current.alpha)
+        return order is Ordering.AFTER or order is Ordering.CONCURRENT
+
+    def _on_write(self, message: Message) -> None:
+        incoming: LogicalVersion = message.payload["version"]
+        req = message.payload.get("req")
+        remembered = self._last_write_ack.get(message.src)
+        if remembered is not None and remembered[0] == req:
+            self.send(message.src, messages.WRITE_ACK, dict(remembered[1]),
+                      size=messages.size_of(messages.WRITE_ACK))
+            return
+        self.knowledge = self.knowledge.join(incoming.alpha)
+        current = self.store.get(incoming.obj)
+        installed = current is None or self._wins(incoming, current)
+        if installed:
+            stored = incoming.copy()
+            stored.advance_beta(self.local_time())
+            self.store[incoming.obj] = stored
+            self.writes_installed += 1
+            self._propagate(stored, exclude=message.src)
+        else:
+            self.writes_discarded += 1
+        ack = {
+            "obj": incoming.obj,
+            "installed": installed,
+            "beta": self.local_time(),
+            "true_time": self.sim.now,
+            "req": req,
+        }
+        self._last_write_ack[message.src] = (req, ack)
+        self.send(message.src, messages.WRITE_ACK, dict(ack),
+                  size=messages.size_of(messages.WRITE_ACK))
+
+    def _propagate(self, version: LogicalVersion, exclude: int) -> None:
+        if self.push_policy is PushPolicy.NONE:
+            return
+        for client_id in self.subscribers:
+            if client_id == exclude:
+                continue
+            if self.push_policy is PushPolicy.PUSH:
+                self.send(
+                    client_id,
+                    messages.PUSH,
+                    {"version": version.copy()},
+                    size=messages.size_of(messages.PUSH),
+                )
+            else:
+                self.send(
+                    client_id,
+                    messages.INVALIDATE,
+                    {"obj": version.obj, "alpha": version.alpha},
+                    size=messages.size_of(messages.INVALIDATE),
+                )

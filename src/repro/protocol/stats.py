@@ -1,0 +1,89 @@
+"""Per-client protocol statistics for the cost benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class ClientStats:
+    """Counters a cache client maintains while running a workload.
+
+    * ``fresh_hits`` — reads served from cache with no messages;
+    * ``validations`` — if-modified-since round trips (split into
+      ``revalidated`` = answered STILL_VALID and ``refreshed`` = answered
+      with a new version);
+    * ``fetches`` — cold misses (no cached entry at all);
+    * ``invalidations`` — cache entries dropped by the Context rules;
+    * ``marked_old`` — entries demoted to *old* instead of dropped
+      (Section 5.2 optimization);
+    * ``pushes``/``push_invalidations`` — server-initiated traffic
+      received;
+    * ``retries`` — request retransmissions on lossy networks;
+    * ``read_latencies`` — per-read completion latencies.
+
+    Staleness is deliberately *not* counted here: it is a ground-truth
+    property of the recorded execution, computed by
+    :func:`repro.analysis.staleness_report` so the protocol cannot
+    misreport itself.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    fresh_hits: int = 0
+    validations: int = 0
+    revalidated: int = 0
+    refreshed: int = 0
+    fetches: int = 0
+    invalidations: int = 0
+    marked_old: int = 0
+    pushes: int = 0
+    push_invalidations: int = 0
+    fetch_check_failures: int = 0
+    retries: int = 0
+    read_latencies: List[float] = field(default_factory=list)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of reads served without any message."""
+        return self.fresh_hits / self.reads if self.reads else 0.0
+
+    @property
+    def messages_per_read(self) -> float:
+        """Round trips per read (validations + fetches, each 2 messages)."""
+        if not self.reads:
+            return 0.0
+        return 2.0 * (self.validations + self.fetches) / self.reads
+
+    @property
+    def mean_read_latency(self) -> float:
+        if not self.read_latencies:
+            return 0.0
+        return sum(self.read_latencies) / len(self.read_latencies)
+
+    def merge(self, other: "ClientStats") -> "ClientStats":
+        """Aggregate counters across clients (for fleet-level reporting)."""
+        merged = ClientStats()
+        for name in (
+            "reads", "writes", "fresh_hits", "validations", "revalidated",
+            "refreshed", "fetches", "invalidations", "marked_old", "pushes",
+            "push_invalidations", "fetch_check_failures", "retries",
+        ):
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
+        merged.read_latencies = self.read_latencies + other.read_latencies
+        return merged
+
+    def as_row(self) -> Dict[str, float]:
+        """A flat dict for table rendering in benches."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "hit_ratio": round(self.hit_ratio, 4),
+            "msgs_per_read": round(self.messages_per_read, 4),
+            "validations": self.validations,
+            "fetches": self.fetches,
+            "invalidations": self.invalidations,
+            "retries": self.retries,
+            "mean_read_latency": round(self.mean_read_latency, 4),
+        }

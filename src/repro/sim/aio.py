@@ -1,0 +1,237 @@
+"""An asyncio implementation of the timed (TSC) cache protocol.
+
+Everything else in this repository runs on the deterministic
+discrete-event simulator, where effective times and epsilon are exact.
+This module is the *live* counterpart: the same lifetime rules
+(Sections 5.1-5.2) implemented over real ``asyncio`` concurrency and the
+wall clock, with artificial network latency injected via
+``asyncio.sleep``.  It exists to show the protocol is not an artifact of
+simulation — the recorded executions pass the same checkers — at the cost
+of timing precision (wall-clock scheduling jitter), which is why the
+quantitative experiments stay on the simulator.
+
+The clock is ``loop.time()`` rebased to 0 at session start; all deltas
+and latencies are in (real) seconds, so keep them small in tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
+
+from repro.core.history import History
+from repro.protocol.stats import ClientStats
+from repro.protocol.versions import CacheEntry, PhysicalVersion
+from repro.sim.trace import TraceRecorder, UniqueValueFactory
+
+
+class AioObjectServer:
+    """Authoritative in-process store with injected request latency."""
+
+    def __init__(self, latency: float = 0.002, initial_value: Any = 0) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        self.latency = latency
+        self.initial_value = initial_value
+        self.store: Dict[str, PhysicalVersion] = {}
+        self._lock = asyncio.Lock()
+        self._clock: Callable[[], float] = lambda: 0.0
+        self.requests = 0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+
+    def _current(self, obj: str) -> PhysicalVersion:
+        if obj not in self.store:
+            self.store[obj] = PhysicalVersion(
+                obj, self.initial_value, alpha=0.0, omega=0.0, writer=-1
+            )
+        version = self.store[obj]
+        version.advance_omega(self._clock())
+        return version
+
+    async def fetch(self, obj: str) -> PhysicalVersion:
+        await asyncio.sleep(self.latency)
+        async with self._lock:
+            self.requests += 1
+            return self._current(obj).copy()
+
+    async def validate(self, obj: str, alpha: float):
+        """Returns ``("valid", omega)`` or ``("version", version)``."""
+        await asyncio.sleep(self.latency)
+        async with self._lock:
+            self.requests += 1
+            version = self._current(obj)
+            if version.alpha == alpha:
+                return ("valid", version.omega)
+            return ("version", version.copy())
+
+    async def write(self, obj: str, value: Any, writer: int) -> PhysicalVersion:
+        """Install synchronously; the install instant is the effective time.
+
+        The returned version always describes *this* write (the writer
+        keeps its own value cached even in the measure-zero case of an
+        exact install-time tie, which is SC-safe: its reads serialize
+        before the winner's).
+        """
+        await asyncio.sleep(self.latency)
+        async with self._lock:
+            self.requests += 1
+            install_time = self._clock()
+            version = PhysicalVersion(obj, value, install_time, install_time, writer)
+            current = self.store.get(obj)
+            if current is None or install_time > current.alpha:
+                self.store[obj] = version.copy()
+            return version
+
+
+class AioTimedCacheClient:
+    """The TSC cache client (rules 1-3) over asyncio."""
+
+    def __init__(
+        self,
+        client_id: int,
+        server: AioObjectServer,
+        clock: Callable[[], float],
+        delta: float = math.inf,
+        recorder: Optional[TraceRecorder] = None,
+    ) -> None:
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        self.client_id = client_id
+        self.server = server
+        self.clock = clock
+        self.delta = delta
+        self.recorder = recorder
+        self.cache: Dict[str, CacheEntry] = {}
+        self.context = 0.0
+        self.stats = ClientStats()
+
+    def _advance_context(self, candidate: float) -> None:
+        if candidate <= self.context:
+            return
+        self.context = candidate
+        for entry in self.cache.values():
+            if entry.version.omega < self.context:
+                entry.mark_old()
+
+    async def read(self, obj: str) -> Any:
+        self.stats.reads += 1
+        if not math.isinf(self.delta):
+            self._advance_context(self.clock() - self.delta)
+        entry = self.cache.get(obj)
+        if entry is not None and not entry.old and entry.version.omega >= self.context:
+            self.stats.fresh_hits += 1
+            value = entry.version.value
+            self._record_read(obj, value)
+            return value
+        if entry is not None:
+            self.stats.validations += 1
+            kind, payload = await self.server.validate(obj, entry.version.alpha)
+            if kind == "valid":
+                entry.version.advance_omega(payload)
+                entry.old = False
+                self.stats.revalidated += 1
+                value = entry.version.value
+            else:
+                self._install(payload)
+                self.stats.refreshed += 1
+                value = payload.value
+        else:
+            self.stats.fetches += 1
+            version = await self.server.fetch(obj)
+            self._install(version)
+            value = version.value
+        self._record_read(obj, value)
+        return value
+
+    async def write(self, obj: str, value: Any) -> float:
+        self.stats.writes += 1
+        version = await self.server.write(obj, value, self.client_id)
+        self._advance_context(version.alpha)
+        entry = self.cache.get(obj)
+        if entry is None:
+            self.cache[obj] = CacheEntry(version, fetched_at=self.clock())
+        else:
+            entry.refresh(version, self.clock())
+        if self.recorder is not None:
+            self.recorder.record_write(self.client_id, obj, value, version.alpha)
+        return version.alpha
+
+    def _install(self, version: PhysicalVersion) -> None:
+        if version.omega < self.context:
+            self.stats.fetch_check_failures += 1
+            version.advance_omega(self.context)
+        self._advance_context(version.alpha)
+        entry = self.cache.get(version.obj)
+        if entry is None:
+            self.cache[version.obj] = CacheEntry(version, fetched_at=self.clock())
+        else:
+            entry.refresh(version, self.clock())
+
+    def _record_read(self, obj: str, value: Any) -> None:
+        if self.recorder is not None:
+            self.recorder.record_read(self.client_id, obj, value, self.clock())
+
+
+class AioSession:
+    """One live deployment: a server, N clients, a shared rebased clock.
+
+    >>> async def workload(session, client):
+    ...     await client.write("x", session.values.next_value(client.client_id))
+    ...     await client.read("x")
+    """
+
+    def __init__(
+        self,
+        n_clients: int,
+        delta: float = math.inf,
+        latency: float = 0.002,
+        initial_value: Any = 0,
+    ) -> None:
+        self.server = AioObjectServer(latency=latency, initial_value=initial_value)
+        self.recorder = TraceRecorder(initial_value=initial_value)
+        self.values = UniqueValueFactory()
+        self._t0: Optional[float] = None
+        self.clients = [
+            AioTimedCacheClient(
+                i, self.server, self.now, delta=delta, recorder=self.recorder
+            )
+            for i in range(n_clients)
+        ]
+        self.server.bind_clock(self.now)
+
+    def now(self) -> float:
+        loop = asyncio.get_event_loop()
+        if self._t0 is None:
+            self._t0 = loop.time()
+        return loop.time() - self._t0
+
+    async def run(
+        self,
+        workload: Callable[["AioSession", AioTimedCacheClient], Awaitable[None]],
+    ) -> History:
+        """Run one workload coroutine per client, concurrently."""
+        self.now()  # pin t0 before anyone starts
+        await asyncio.gather(*(workload(self, client) for client in self.clients))
+        return self.recorder.history()
+
+    def aggregate_stats(self) -> ClientStats:
+        total = ClientStats()
+        for client in self.clients:
+            total = total.merge(client.stats)
+        return total
+
+
+def run_aio_session(
+    n_clients: int,
+    workload: Callable[[AioSession, AioTimedCacheClient], Awaitable[None]],
+    delta: float = math.inf,
+    latency: float = 0.002,
+) -> Tuple[History, AioSession]:
+    """Convenience wrapper: build a session, drive it with asyncio.run,
+    and return both the recorded history and the session (for stats)."""
+    session = AioSession(n_clients, delta=delta, latency=latency)
+    history = asyncio.run(session.run(workload))
+    return history, session

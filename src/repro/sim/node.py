@@ -1,0 +1,46 @@
+"""Base class for simulated sites (protocol nodes)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.clocks.physical import PerfectClock, PhysicalClock
+from repro.sim.kernel import Simulator
+from repro.sim.network import Message, Network
+
+
+class Node:
+    """A site in the simulated system.
+
+    Holds the node id, references to the simulator and network, and the
+    node's *local* physical clock (which may be skewed or drifting; the
+    simulator's own time is the ground truth used for effective times).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: Network,
+        clock: Optional[PhysicalClock] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        self.clock = clock or PerfectClock(sim.time_source())
+        network.register(self)
+
+    def local_time(self) -> float:
+        """This node's own clock reading (``t_i`` in the protocol rules)."""
+        return self.clock.now()
+
+    def send(self, dst: int, kind: str, payload=None, size: int = 1) -> Message:
+        return self.network.send(self.node_id, dst, kind, payload, size)
+
+    def on_message(self, message: Message) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError(
+            f"{type(self).__name__} does not handle messages"
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.node_id})"

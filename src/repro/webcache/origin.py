@@ -1,0 +1,151 @@
+"""The origin web server: GET, if-modified-since, and invalidation callbacks.
+
+Message kinds reuse HTTP vocabulary: ``GET`` returns the full document
+(``RESPONSE``); ``IMS`` (if-modified-since, carrying the client's
+``last_modified``) returns either ``NOT_MODIFIED`` (a cheap control
+message — the Section 5.2 point about avoiding large transfers) or a full
+``RESPONSE``.  With the invalidation policy (Cao & Liu [10]) the origin
+remembers which caches hold each document and sends them ``INVALIDATE``
+when it changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Set
+
+from repro.sim.kernel import Simulator
+from repro.sim.network import Message, Network
+from repro.sim.node import Node
+from repro.webcache.documents import DocumentVersion
+
+GET = "http-get"
+IMS = "http-ims"
+RESPONSE = "http-response"
+NOT_MODIFIED = "http-304"
+INVALIDATE = "http-invalidate"
+
+#: Size units: full documents vs control messages.
+DOC_SIZE = 25
+CTRL_SIZE = 1
+
+
+def size_of(kind: str) -> int:
+    return DOC_SIZE if kind == RESPONSE else CTRL_SIZE
+
+
+class OriginServer(Node):
+    """Authoritative store of web documents."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: Network,
+        track_caches: bool = False,
+        recorder=None,
+    ) -> None:
+        super().__init__(node_id, sim, network)
+        self.track_caches = track_caches
+        self.recorder = recorder
+        self.documents: Dict[str, DocumentVersion] = {}
+        self.holders: Dict[str, Set[int]] = {}
+        self.requests_served = 0
+        self.ims_served = 0
+        self.invalidations_sent = 0
+
+    # -- content management ---------------------------------------------------
+
+    def install(self, name: str, body: str, now: float) -> None:
+        """Install a fresh version (called by the modification process)."""
+        self.current(name)  # materialize v0 first so the trace stays legal
+        self.documents[name] = DocumentVersion(name, body, now)
+        if self.recorder is not None:
+            self.recorder.record_write(self.node_id, name, body, now)
+        if self.track_caches:
+            for cache_id in sorted(self.holders.get(name, ())):
+                self.send(cache_id, INVALIDATE, {"name": name}, size=CTRL_SIZE)
+                self.invalidations_sent += 1
+            self.holders[name] = set()
+
+    def current(self, name: str) -> DocumentVersion:
+        if name not in self.documents:
+            self.documents[name] = DocumentVersion(name, f"{name}#v0", 0.0)
+            if self.recorder is not None:
+                self.recorder.record_write(self.node_id, name, f"{name}#v0", 0.0)
+        return self.documents[name]
+
+    # -- request handling -------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == GET:
+            self._on_get(message)
+        elif message.kind == IMS:
+            self._on_ims(message)
+        else:
+            raise ValueError(f"origin cannot handle {message.kind}")
+
+    def _remember_holder(self, name: str, cache_id: int) -> None:
+        if self.track_caches:
+            self.holders.setdefault(name, set()).add(cache_id)
+
+    def _on_get(self, message: Message) -> None:
+        name = message.payload["name"]
+        doc = self.current(name)
+        self.requests_served += 1
+        self._remember_holder(name, message.src)
+        self.send(
+            message.src,
+            RESPONSE,
+            {
+                "doc": DocumentVersion(doc.name, doc.body, doc.last_modified),
+                "req": message.payload.get("req"),
+                "fetched_at": self.sim.now,
+                "piggyback": self._piggyback_verdicts(message),
+            },
+            size=size_of(RESPONSE),
+        )
+
+    def _piggyback_verdicts(self, message: Message) -> dict:
+        """Answer a batched if-modified-since list riding on a request
+        (piggyback cache validation): {name: validated_at | None}, where
+        None means "changed, refetch"."""
+        verdicts = {}
+        for name, since in message.payload.get("piggyback", {}).items():
+            doc = self.current(name)
+            self.ims_served += 1
+            self._remember_holder(name, message.src)
+            verdicts[name] = self.sim.now if doc.last_modified <= since else None
+        return verdicts
+
+    def _on_ims(self, message: Message) -> None:
+        name = message.payload["name"]
+        since = message.payload["last_modified"]
+        doc = self.current(name)
+        self.requests_served += 1
+        self.ims_served += 1
+        self._remember_holder(name, message.src)
+        piggyback = self._piggyback_verdicts(message)
+        if doc.last_modified <= since:
+            self.send(
+                message.src,
+                NOT_MODIFIED,
+                {
+                    "name": name,
+                    "req": message.payload.get("req"),
+                    "validated_at": self.sim.now,
+                    "piggyback": piggyback,
+                },
+                size=size_of(NOT_MODIFIED),
+            )
+        else:
+            self.send(
+                message.src,
+                RESPONSE,
+                {
+                    "doc": DocumentVersion(doc.name, doc.body, doc.last_modified),
+                    "req": message.payload.get("req"),
+                    "fetched_at": self.sim.now,
+                    "piggyback": piggyback,
+                },
+                size=size_of(RESPONSE),
+            )

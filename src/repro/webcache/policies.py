@@ -1,0 +1,183 @@
+"""Web cache consistency policies, each a timed-consistency protocol.
+
+Section 4: "Web cache consistency protocols can be modeled as timed
+consistency protocols ... [Gwertzman & Seltzer] and [Cao & Liu] distinguish
+between weak and strong consistency of web documents, which can be modeled
+with different values of delta."  The mapping implemented here:
+
+==================  =============================================
+policy              effective delta it guarantees
+==================  =============================================
+poll-every-time     ~0 (a round trip; strong consistency)
+fixed TTL(t)        t (a read never misses a write older than t)
+adaptive TTL        bounded by ``max_ttl``, usually far smaller —
+                    TTL = factor * document age (the Alex protocol
+                    [11], favored by [19])
+invalidation        ~network latency (server-driven, [10])
+==================  =============================================
+
+Each policy answers one question — *is this cached entry still usable
+without contacting the origin?* — via :meth:`fresh_until`, which returns
+the expiry instant computed when the entry was stored/validated.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.webcache.documents import DocumentVersion
+
+
+@dataclass
+class WebCacheEntry:
+    """A cached document plus policy bookkeeping."""
+
+    doc: DocumentVersion
+    fetched_at: float
+    validated_at: float
+    expires_at: float
+    invalidated: bool = False
+
+
+class CachePolicy(ABC):
+    """Strategy deciding entry freshness lifetimes."""
+
+    #: Does this policy need the origin to track holders and push
+    #: invalidations?
+    needs_invalidations = False
+    #: Does this policy batch-validate expired entries on any origin trip?
+    piggyback = False
+    #: Cap on piggybacked validations per request.
+    max_batch = 0
+
+    @abstractmethod
+    def fresh_until(self, doc: DocumentVersion, validated_at: float) -> float:
+        """The instant until which the entry may be served with no
+        messages, given it was validated at ``validated_at``."""
+
+    def effective_delta(self) -> float:
+        """The staleness bound this policy guarantees (for reporting)."""
+        return math.inf
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class PollEveryTime(CachePolicy):
+    """Validate on every request: strong consistency, maximal traffic."""
+
+    def fresh_until(self, doc: DocumentVersion, validated_at: float) -> float:
+        return validated_at  # immediately stale
+
+    def effective_delta(self) -> float:
+        return 0.0
+
+
+class FixedTTL(CachePolicy):
+    """Serve from cache for ``ttl`` seconds after each validation."""
+
+    def __init__(self, ttl: float) -> None:
+        if ttl < 0:
+            raise ValueError(f"ttl must be non-negative, got {ttl}")
+        self.ttl = ttl
+
+    def fresh_until(self, doc: DocumentVersion, validated_at: float) -> float:
+        return validated_at + self.ttl
+
+    def effective_delta(self) -> float:
+        return self.ttl
+
+    @property
+    def name(self) -> str:
+        return f"FixedTTL({self.ttl:g})"
+
+
+class PiggybackTTL(FixedTTL):
+    """Fixed TTL plus *piggyback cache validation* (Krishnamurthy &
+    Wills): whenever any request travels to the origin, the cache rides a
+    batch of its currently-expired entries along for bulk
+    if-modified-since validation, amortizing freshness checks over
+    traffic that was happening anyway.  Same staleness bound as
+    ``FixedTTL(ttl)``, fewer request round trips."""
+
+    piggyback = True
+    max_batch = 20
+
+    @property
+    def name(self) -> str:
+        return f"PiggybackTTL({self.ttl:g})"
+
+
+class AdaptiveTTL(CachePolicy):
+    """The Alex-protocol adaptive TTL [11], as studied in [19].
+
+    TTL is a fraction of the document's *age* at validation time: a
+    document unchanged for a month gets a long TTL; one modified a minute
+    ago gets a short one.  Bounded by [min_ttl, max_ttl].
+    """
+
+    def __init__(
+        self, factor: float = 0.2, min_ttl: float = 0.05, max_ttl: float = 60.0
+    ) -> None:
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        if not 0 <= min_ttl <= max_ttl:
+            raise ValueError(f"need 0 <= min_ttl <= max_ttl, got {min_ttl}, {max_ttl}")
+        self.factor = factor
+        self.min_ttl = min_ttl
+        self.max_ttl = max_ttl
+
+    def fresh_until(self, doc: DocumentVersion, validated_at: float) -> float:
+        age = max(0.0, validated_at - doc.last_modified)
+        ttl = min(self.max_ttl, max(self.min_ttl, self.factor * age))
+        return validated_at + ttl
+
+    def effective_delta(self) -> float:
+        return self.max_ttl
+
+    @property
+    def name(self) -> str:
+        return f"AdaptiveTTL(x{self.factor:g})"
+
+
+class ServerInvalidation(CachePolicy):
+    """Cache entries live until the origin invalidates them [10]."""
+
+    needs_invalidations = True
+
+    def fresh_until(self, doc: DocumentVersion, validated_at: float) -> float:
+        return math.inf  # fresh until an INVALIDATE arrives
+
+    def effective_delta(self) -> float:
+        return 0.0  # up to one-way latency, in practice
+
+    @property
+    def name(self) -> str:
+        return "ServerInvalidation"
+
+
+@dataclass
+class WebCacheStats:
+    """Per-cache counters (bandwidth is tracked by the network)."""
+
+    requests: int = 0
+    hits: int = 0
+    ims_sent: int = 0
+    not_modified: int = 0
+    full_responses: int = 0
+    invalidations_received: int = 0
+    piggyback_validations: int = 0
+    latencies: list = field(default_factory=list)
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def origin_requests(self) -> int:
+        """Requests that reached the origin (server load, per [19])."""
+        return self.requests - self.hits

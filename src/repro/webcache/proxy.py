@@ -1,0 +1,161 @@
+"""A client-side web cache driven by a :class:`CachePolicy`."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional
+
+from repro.sim.kernel import Event, Simulator
+from repro.sim.network import Message, Network
+from repro.sim.node import Node
+from repro.sim.trace import TraceRecorder
+from repro.webcache import origin as http
+from repro.webcache.documents import DocumentVersion
+from repro.webcache.policies import CachePolicy, WebCacheEntry, WebCacheStats
+
+
+class WebCache(Node):
+    """Caches documents from one origin under a consistency policy."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: Network,
+        origin_id: int,
+        policy: CachePolicy,
+        recorder: Optional[TraceRecorder] = None,
+    ) -> None:
+        super().__init__(node_id, sim, network)
+        self.origin_id = origin_id
+        self.policy = policy
+        self.recorder = recorder
+        self.entries: Dict[str, WebCacheEntry] = {}
+        self.stats = WebCacheStats()
+        self._requests = itertools.count()
+        self._pending: Dict[int, Any] = {}
+
+    # -- public API --------------------------------------------------------
+
+    def request(self, name: str) -> Event:
+        """GET a document; the event succeeds with the body."""
+        self.stats.requests += 1
+        event = self.sim.event()
+        entry = self.entries.get(name)
+        if entry is not None and not entry.invalidated and self.sim.now <= entry.expires_at:
+            self.stats.hits += 1
+            self.stats.latencies.append(0.0)
+            self._record(name, entry.doc.body)
+            event.succeed(entry.doc.body)
+            return event
+        req = next(self._requests)
+        self._pending[req] = (name, event, self.sim.now)
+        piggyback = self._piggyback_batch(exclude=name)
+        if entry is not None and not entry.invalidated:
+            self.stats.ims_sent += 1
+            self.send(
+                self.origin_id,
+                http.IMS,
+                {
+                    "name": name,
+                    "last_modified": entry.doc.last_modified,
+                    "req": req,
+                    "piggyback": piggyback,
+                },
+                size=http.size_of(http.IMS),
+            )
+        else:
+            self.send(
+                self.origin_id,
+                http.GET,
+                {"name": name, "req": req, "piggyback": piggyback},
+                size=http.size_of(http.GET),
+            )
+        return event
+
+    def _piggyback_batch(self, exclude: str) -> Dict[str, float]:
+        """Expired-but-valid entries to bulk-validate on this trip."""
+        if not getattr(self.policy, "piggyback", False):
+            return {}
+        batch: Dict[str, float] = {}
+        for name, entry in self.entries.items():
+            if name == exclude or entry.invalidated:
+                continue
+            if self.sim.now > entry.expires_at:
+                batch[name] = entry.doc.last_modified
+                if len(batch) >= self.policy.max_batch:
+                    break
+        self.stats.piggyback_validations += len(batch)
+        return batch
+
+    def _apply_piggyback(self, verdicts: Dict[str, Any]) -> None:
+        for name, validated_at in verdicts.items():
+            entry = self.entries.get(name)
+            if entry is None:
+                continue
+            if validated_at is None:
+                entry.invalidated = True  # changed: next access refetches
+            else:
+                entry.validated_at = validated_at
+                entry.expires_at = self.policy.fresh_until(entry.doc, validated_at)
+
+    # -- message handling ----------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == http.RESPONSE:
+            self._on_response(message)
+        elif message.kind == http.NOT_MODIFIED:
+            self._on_not_modified(message)
+        elif message.kind == http.INVALIDATE:
+            self._on_invalidate(message)
+        else:
+            raise ValueError(f"web cache cannot handle {message.kind}")
+
+    def _on_response(self, message: Message) -> None:
+        doc: DocumentVersion = message.payload["doc"]
+        fetched_at = message.payload["fetched_at"]
+        self.stats.full_responses += 1
+        self._apply_piggyback(message.payload.get("piggyback", {}))
+        self.entries[doc.name] = WebCacheEntry(
+            doc=doc,
+            fetched_at=fetched_at,
+            validated_at=fetched_at,
+            expires_at=self.policy.fresh_until(doc, fetched_at),
+        )
+        self._complete(message.payload.get("req"), doc.body)
+
+    def _on_not_modified(self, message: Message) -> None:
+        name = message.payload["name"]
+        validated_at = message.payload["validated_at"]
+        self.stats.not_modified += 1
+        self._apply_piggyback(message.payload.get("piggyback", {}))
+        entry = self.entries.get(name)
+        body = None
+        if entry is not None:
+            entry.validated_at = validated_at
+            entry.expires_at = self.policy.fresh_until(entry.doc, validated_at)
+            entry.invalidated = False
+            body = entry.doc.body
+        self._complete(message.payload.get("req"), body)
+
+    def _on_invalidate(self, message: Message) -> None:
+        name = message.payload["name"]
+        self.stats.invalidations_received += 1
+        entry = self.entries.get(name)
+        if entry is not None:
+            entry.invalidated = True
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _complete(self, req: Optional[int], body: Optional[str]) -> None:
+        pending = self._pending.pop(req, None)
+        if pending is None:
+            return
+        name, event, issued_at = pending
+        self.stats.latencies.append(self.sim.now - issued_at)
+        self._record(name, body)
+        event.succeed(body)
+
+    def _record(self, name: str, body: Optional[str]) -> None:
+        if self.recorder is not None:
+            self.recorder.record_read(self.node_id, name, body, self.sim.now)

@@ -1,0 +1,35 @@
+"""Workload generators: cluster driver processes and random histories."""
+
+from repro.workloads.access import (
+    read_heavy_hotspot,
+    uniform_workload,
+    zipf_workload,
+)
+from repro.workloads.collaborative import collaborative_workload, paragraph
+from repro.workloads.random_history import (
+    jitter_times,
+    random_history,
+    random_linearizable_history,
+    random_replica_history,
+    random_sc_history,
+)
+from repro.workloads.ticker import CNN, DOW_JONES, ticker_workload
+from repro.workloads.virtual_env import avatar_name, virtual_env_workload
+
+__all__ = [
+    "CNN",
+    "DOW_JONES",
+    "avatar_name",
+    "collaborative_workload",
+    "jitter_times",
+    "paragraph",
+    "random_history",
+    "random_linearizable_history",
+    "random_replica_history",
+    "random_sc_history",
+    "read_heavy_hotspot",
+    "ticker_workload",
+    "uniform_workload",
+    "virtual_env_workload",
+    "zipf_workload",
+]

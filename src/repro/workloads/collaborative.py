@@ -1,0 +1,38 @@
+"""Collaborative editing workload (Section 4's "collaborative applications").
+
+A shared document is a set of paragraph objects.  Each author cycles:
+read a few paragraphs (to see collaborators' edits), then rewrite one.
+The interesting metric is how quickly one author's edit becomes visible to
+the others — exactly what delta bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim.rng import exponential
+
+
+def paragraph(i: int) -> str:
+    """The i-th paragraph object of the shared document."""
+    return f"para{i}"
+
+
+def collaborative_workload(
+    n_paragraphs: int = 8,
+    n_edits: int = 25,
+    edit_interval: float = 0.3,
+    reads_per_edit: int = 4,
+):
+    """Read ``reads_per_edit`` random paragraphs, then rewrite one."""
+
+    def workload(cluster, client, rng) -> Generator:
+        for _ in range(n_edits):
+            yield cluster.sim.timeout(exponential(rng, 1.0 / edit_interval))
+            for _ in range(reads_per_edit):
+                yield client.read(paragraph(rng.randrange(n_paragraphs)))
+            target = paragraph(rng.randrange(n_paragraphs))
+            text = cluster.values.next_value(client.node_id)
+            yield client.write(target, text)
+
+    return workload

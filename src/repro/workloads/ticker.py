@@ -1,0 +1,58 @@
+"""The Dow Jones / CNN scenario of Section 4.
+
+A feed client updates the ``dowjones`` object continuously.  A newsroom
+client occasionally *reads* the index and then publishes a ``cnn`` story
+about it — creating a causal edge from the index write to the story write.
+Reader clients read the story and then the index.
+
+Under plain CC a reader may hold a weeks-old index page forever and the
+cache still satisfies CC; under TCC(delta) the stale index must be
+revalidated within delta.  And if a reader sees a story that causally
+follows an index write, CC itself forces the old index to be invalidated —
+both behaviours are exercised here and checked by the example/bench.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim.rng import exponential
+
+DOW_JONES = "dowjones"
+CNN = "cnn"
+
+#: Role assignment by position in the cluster's client list.
+FEED, NEWSROOM = 0, 1
+
+
+def ticker_workload(
+    n_rounds: int = 30,
+    feed_interval: float = 0.1,
+    news_interval: float = 0.8,
+    read_interval: float = 0.3,
+):
+    """Role-based workload: client 0 is the index feed, client 1 the
+    newsroom, the rest are readers."""
+
+    def workload(cluster, client, rng) -> Generator:
+        role = cluster.clients.index(client)
+        if role == FEED:
+            for _ in range(n_rounds * 3):
+                yield cluster.sim.timeout(exponential(rng, 1.0 / feed_interval))
+                quote = cluster.values.next_value(client.node_id)
+                yield client.write(DOW_JONES, quote)
+        elif role == NEWSROOM and len(cluster.clients) > 1:
+            for _ in range(n_rounds):
+                yield cluster.sim.timeout(exponential(rng, 1.0 / news_interval))
+                # Read the index, then publish a story about it: the story
+                # causally depends on the index value it reports.
+                yield client.read(DOW_JONES)
+                story = cluster.values.next_value(client.node_id)
+                yield client.write(CNN, story)
+        else:
+            for _ in range(n_rounds * 2):
+                yield cluster.sim.timeout(exponential(rng, 1.0 / read_interval))
+                yield client.read(CNN)
+                yield client.read(DOW_JONES)
+
+    return workload

@@ -1,0 +1,55 @@
+"""Multi-user virtual environment workload (Section 4 of the paper).
+
+Each participant owns an avatar object it updates periodically (position/
+state) and continuously observes the other participants' avatars.  The
+paper's motivating failure: under plain SC, "the most recent write could
+imply a serious alteration of the environment that is not perceived on
+time" — a participant may watch an arbitrarily stale world.  TSC/TCC bound
+that staleness by delta.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim.rng import exponential
+
+
+def avatar_name(client_id: int) -> str:
+    """The avatar object owned by a client."""
+    return f"avatar{client_id}"
+
+
+def virtual_env_workload(
+    n_rounds: int = 40,
+    move_interval: float = 0.2,
+    observe_per_move: int = 3,
+    n_movers: int = None,
+):
+    """Movers update their avatar and glance around; spectators only watch.
+
+    ``n_movers`` caps how many clients (by position in the cluster's
+    client list) actively move; the rest are *spectators* who never write.
+    Spectators are where SC and TSC diverge most: a spectator's Context
+    never advances through its own writes, so under plain SC its cached
+    world can silently freeze, while rule 3 forces it to revalidate every
+    delta.  Default: half the clients move (at least one).
+    """
+
+    def workload(cluster, client, rng) -> Generator:
+        movers = n_movers if n_movers is not None else max(1, len(cluster.clients) // 2)
+        role_is_mover = cluster.clients.index(client) < movers
+        mover_avatars = [
+            avatar_name(c.node_id) for c in cluster.clients[:movers]
+        ]
+        own = avatar_name(client.node_id)
+        observable = [a for a in mover_avatars if a != own]
+        for _ in range(n_rounds):
+            yield cluster.sim.timeout(exponential(rng, 1.0 / move_interval))
+            if role_is_mover:
+                position = cluster.values.next_value(client.node_id)
+                yield client.write(own, position)
+            for _ in range(min(observe_per_move, len(observable))):
+                yield client.read(rng.choice(observable))
+
+    return workload

@@ -1,0 +1,34 @@
+"""Shared fixtures: the paper's example histories and small helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.paperdata import figure1, figure5, figure6, figures2_3
+
+
+@pytest.fixture
+def fig1():
+    return figure1()
+
+
+@pytest.fixture
+def fig5():
+    return figure5()
+
+
+@pytest.fixture
+def fig6():
+    return figure6()
+
+
+@pytest.fixture
+def fig23():
+    return figures2_3()
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)

@@ -1,0 +1,103 @@
+"""Tests for the live asyncio implementation of the TSC cache.
+
+Wall-clock timing is jittery, so quantitative assertions carry generous
+slack; the *correctness* assertions (SC of the recorded trace, read-your-
+writes, revalidation behaviour) are exact.
+"""
+
+import asyncio
+import math
+
+import pytest
+
+from repro.analysis.metrics import staleness_report
+from repro.checkers import check_sc
+from repro.sim.aio import AioSession
+
+
+def run(session, workload):
+    return asyncio.run(session.run(workload))
+
+
+class TestBasicOperations:
+    def test_read_your_writes(self):
+        session = AioSession(n_clients=1, latency=0.001)
+        observed = []
+
+        async def workload(sess, client):
+            value = sess.values.next_value(client.client_id)
+            await client.write("x", value)
+            observed.append((value, await client.read("x")))
+
+        run(session, workload)
+        value, got = observed[0]
+        assert got == value
+        assert session.clients[0].stats.fresh_hits == 1
+
+    def test_cold_read_returns_initial_value(self):
+        session = AioSession(n_clients=1, latency=0.001)
+        got = []
+
+        async def workload(sess, client):
+            got.append(await client.read("x"))
+
+        run(session, workload)
+        assert got == [0]
+
+    def test_validation_paths(self):
+        session = AioSession(n_clients=2, delta=0.02, latency=0.001)
+
+        async def workload(sess, client):
+            if client.client_id == 0:
+                await client.write("x", sess.values.next_value(0))
+            else:
+                await client.read("x")
+                await asyncio.sleep(0.05)  # let the entry age past delta
+                await client.read("x")  # rule 3 forces a validation
+
+        run(session, workload)
+        reader = session.clients[1].stats
+        assert reader.validations + reader.fetches >= 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AioSession(n_clients=1, delta=-1.0)
+        from repro.sim.aio import AioObjectServer
+
+        with pytest.raises(ValueError):
+            AioObjectServer(latency=-0.1)
+
+
+class TestTraceCorrectness:
+    def _concurrent_workload(self, rounds=6):
+        async def workload(sess, client):
+            for i in range(rounds):
+                obj = ["x", "y"][i % 2]
+                if (i + client.client_id) % 3 == 0:
+                    await client.write(obj, sess.values.next_value(client.client_id))
+                else:
+                    await client.read(obj)
+                await asyncio.sleep(0.001)
+
+        return workload
+
+    def test_live_trace_is_sc(self):
+        session = AioSession(n_clients=3, latency=0.001)
+        history = run(session, self._concurrent_workload())
+        assert len(history) >= 12
+        assert check_sc(history)
+
+    def test_live_tsc_trace_is_sc_and_fresh(self):
+        delta = 0.05
+        session = AioSession(n_clients=3, delta=delta, latency=0.001)
+        history = run(session, self._concurrent_workload())
+        assert check_sc(history)
+        # Wall-clock slack: delta + a few scheduler quanta.
+        assert staleness_report(history).maximum <= delta + 0.1
+
+    def test_sc_session_accumulates_stats(self):
+        session = AioSession(n_clients=2, latency=0.001)
+        run(session, self._concurrent_workload())
+        total = session.aggregate_stats()
+        assert total.reads > 0 and total.writes > 0
+        assert session.server.requests >= total.writes

@@ -1,0 +1,149 @@
+"""Tests for delta-causal broadcast."""
+
+import pytest
+
+from repro.broadcast import (
+    DeltaCausalProcess,
+    causal_violations,
+    run_broadcast_experiment,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.network import ConstantLatency, Network
+
+
+def rig(n=3, delta=1.0, latency=0.01):
+    sim = Simulator()
+    net = Network(sim, latency_model=ConstantLatency(latency))
+    procs = [
+        DeltaCausalProcess(i, sim, net, slot=i, width=n, delta=delta)
+        for i in range(n)
+    ]
+    return sim, procs
+
+
+class TestBasicDelivery:
+    def test_single_multicast_reaches_everyone(self):
+        sim, procs = rig()
+        procs[0].multicast("hello")
+        sim.run()
+        for proc in procs:
+            assert [r.message.payload for r in proc.deliveries] == ["hello"]
+
+    def test_local_delivery_is_immediate(self):
+        sim, procs = rig()
+        procs[0].multicast("x")
+        assert procs[0].deliveries[0].latency == 0.0
+
+    def test_fifo_per_sender(self):
+        sim, procs = rig()
+
+        def send():
+            procs[0].multicast("a")
+            yield sim.timeout(0.001)
+            procs[0].multicast("b")
+
+        sim.process(send())
+        sim.run()
+        for proc in procs:
+            payloads = [r.message.payload for r in proc.deliveries]
+            assert payloads == ["a", "b"]
+
+    def test_causal_cross_sender_order(self):
+        # p1 replies to p0's message: every process sees "question" first.
+        sim, procs = rig()
+
+        def conversation():
+            procs[0].multicast("question")
+            yield sim.timeout(0.05)  # p1 has delivered it by now
+            procs[1].multicast("answer")
+
+        sim.process(conversation())
+        sim.run()
+        for proc in procs:
+            payloads = [r.message.payload for r in proc.deliveries]
+            assert payloads.index("question") < payloads.index("answer")
+
+    def test_invalid_delta(self):
+        sim = Simulator()
+        net = Network(sim)
+        with pytest.raises(ValueError):
+            DeltaCausalProcess(0, sim, net, slot=0, width=1, delta=0.0)
+
+
+class TestExpiry:
+    def test_late_message_never_delivered(self):
+        # Latency exceeds delta: remote processes must discard.
+        sim, procs = rig(delta=0.05, latency=0.2)
+        procs[0].multicast("too-late")
+        sim.run()
+        assert len(procs[0].deliveries) == 1  # sender delivers locally
+        for proc in procs[1:]:
+            assert proc.deliveries == []
+            assert proc.stats.discarded_late == 1
+
+    def test_expired_predecessor_is_skipped(self):
+        # p0's first message is lost in transit to p2; its second arrives.
+        # p2 must eventually deliver the second once the first provably
+        # expired, not block forever.
+        sim, procs = rig(n=2, delta=0.1, latency=0.01)
+        net = procs[0].network
+
+        # Send m1 only to nobody (simulate loss by not broadcasting).
+        procs[0]._sent[0] += 1  # sequence consumed by the "lost" m1
+        from repro.broadcast.delta_causal import Multicast
+        from repro.clocks.vector import VectorTimestamp
+
+        lost = Multicast(0, 1, VectorTimestamp((0, 0)), "lost", sim.now, sim.now + 0.1)
+        procs[0].processed[0] = 1  # sender considers it processed locally
+
+        def send_second():
+            yield sim.timeout(0.02)
+            procs[0].multicast("second")
+
+        sim.process(send_second())
+        sim.run()
+        other = procs[1]
+        assert [r.message.payload for r in other.deliveries] == ["second"]
+        assert other.stats.predecessors_expired == 1
+        _ = lost, net
+
+    def test_delivery_latency_bounded_by_delta(self):
+        exp = run_broadcast_experiment(
+            0.08, n_processes=4, messages_per_process=25, seed=3,
+            drop_probability=0.1,
+        )
+        assert all(lat <= 0.08 + 1e-9 for lat in exp.latencies)
+
+
+class TestHarness:
+    def test_no_causal_violations_across_configs(self):
+        for delta in (0.02, 0.1, 1.0):
+            for drop in (0.0, 0.1):
+                exp = run_broadcast_experiment(
+                    delta, n_processes=4, messages_per_process=20, seed=7,
+                    drop_probability=drop,
+                )
+                assert exp.violations == 0, (delta, drop)
+
+    def test_delivery_ratio_monotone_in_delta(self):
+        ratios = [
+            run_broadcast_experiment(
+                delta, n_processes=4, messages_per_process=25, seed=5,
+                drop_probability=0.05,
+            ).delivery_ratio
+            for delta in (0.02, 0.1, 1.0)
+        ]
+        assert ratios[0] <= ratios[1] <= ratios[2]
+
+    def test_full_delivery_without_loss_and_large_delta(self):
+        exp = run_broadcast_experiment(
+            10.0, n_processes=3, messages_per_process=20, seed=2,
+            drop_probability=0.0,
+        )
+        assert exp.delivery_ratio == 1.0
+        assert exp.stats.discarded_late == 0
+
+    def test_deterministic(self):
+        a = run_broadcast_experiment(0.1, seed=9, drop_probability=0.05).row()
+        b = run_broadcast_experiment(0.1, seed=9, drop_probability=0.05).row()
+        assert a == b

@@ -1,0 +1,109 @@
+"""Tests for the linearizability checker."""
+
+from repro.checkers import check_interval_linearizability, check_lin
+from repro.core.history import History
+from repro.core.operations import read, write
+
+
+class TestBasic:
+    def test_fresh_reads_are_lin(self):
+        h = History(
+            [
+                write(0, "X", 1, 1.0),
+                read(1, "X", 1, 2.0),
+                write(0, "X", 2, 3.0),
+                read(1, "X", 2, 4.0),
+            ]
+        )
+        result = check_lin(h)
+        assert result
+        assert [op.time for op in result.witness] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_stale_read_not_lin(self):
+        h = History(
+            [
+                write(0, "X", 1, 1.0),
+                write(0, "X", 2, 2.0),
+                read(1, "X", 1, 3.0),
+            ]
+        )
+        result = check_lin(h)
+        assert not result
+        assert "r1(X)1" in result.violation
+
+    def test_initial_read_before_writes(self):
+        h = History([read(0, "X", 0, 1.0), write(1, "X", 1, 2.0)])
+        assert check_lin(h)
+
+    def test_initial_read_after_write_not_lin(self):
+        h = History([write(1, "X", 1, 1.0), read(0, "X", 0, 2.0)])
+        assert not check_lin(h)
+
+
+class TestTies:
+    def test_tied_times_resolvable(self):
+        # write and read at the same instant: write first is legal.
+        h = History([write(0, "X", 1, 5.0), read(1, "X", 1, 5.0)])
+        assert check_lin(h)
+
+    def test_tied_times_other_order(self):
+        # read of initial value tied with the write: read first is legal.
+        h = History([write(0, "X", 1, 5.0), read(1, "X", 0, 5.0)])
+        assert check_lin(h)
+
+    def test_tied_unresolvable(self):
+        h = History(
+            [
+                write(0, "X", 1, 5.0),
+                read(1, "X", 0, 5.0),
+                read(2, "X", 1, 5.0),
+                read(3, "X", 0, 6.0),  # after the write: impossible
+            ]
+        )
+        assert not check_lin(h)
+
+    def test_three_way_tie_permutations(self):
+        h = History(
+            [
+                write(0, "X", 1, 5.0),
+                write(1, "Y", 2, 5.0),
+                read(2, "X", 1, 5.0),
+            ]
+        )
+        assert check_lin(h)
+
+
+class TestIntervalLin:
+    def test_overlapping_intervals_allow_reordering(self):
+        # Effective times would reject this, but the intervals overlap so
+        # interval linearizability accepts.
+        h = History(
+            [
+                write(0, "X", 1, 2.0, start=0.0, end=10.0),
+                write(1, "X", 2, 3.0, start=0.0, end=10.0),
+                read(2, "X", 1, 5.0, start=0.0, end=10.0),
+            ]
+        )
+        assert not check_lin(h)
+        assert check_interval_linearizability(h)
+
+    def test_disjoint_intervals_enforce_order(self):
+        h = History(
+            [
+                write(0, "X", 1, 1.0, start=0.5, end=1.5),
+                write(1, "X", 2, 3.0, start=2.5, end=3.5),
+                read(2, "X", 1, 5.0, start=4.5, end=5.5),
+            ]
+        )
+        assert not check_interval_linearizability(h)
+
+    def test_missing_intervals_degenerate_to_instants(self):
+        h = History([write(0, "X", 1, 1.0), read(1, "X", 1, 2.0)])
+        assert check_interval_linearizability(h)
+
+
+class TestPaperExecutions:
+    def test_figures_are_not_lin(self, fig1, fig5, fig6):
+        assert not check_lin(fig1)
+        assert not check_lin(fig5)
+        assert not check_lin(fig6)

@@ -1,0 +1,176 @@
+"""Tests for the SC and CC checkers (both engines)."""
+
+import pytest
+
+from repro.checkers import check_cc, check_sc
+from repro.checkers.result import SearchBudgetExceeded
+from repro.core.history import History
+from repro.core.operations import read, write
+from repro.core.serialization import is_legal, respects, respects_program_order
+
+ENGINES = ["constraint", "search"]
+
+
+def dekker_style_violation():
+    """w(X)1 || w(Y)1 with both sites then reading the other's object as 0:
+    the classic non-SC (but coherent) execution."""
+    return History(
+        [
+            write(0, "X", 1, 1.0),
+            read(0, "Y", 0, 2.0),
+            write(1, "Y", 1, 1.5),
+            read(1, "X", 0, 2.5),
+        ]
+    )
+
+
+def cc_not_sc():
+    """Two sites observe two concurrent writes in opposite orders."""
+    return History(
+        [
+            write(0, "X", 1, 1.0),
+            write(1, "X", 2, 1.1),
+            read(2, "X", 1, 2.0),
+            read(2, "X", 2, 3.0),
+            read(3, "X", 2, 2.1),
+            read(3, "X", 1, 3.1),
+        ]
+    )
+
+
+def not_cc():
+    """A site reads v2 then v1 where w(v1) causally precedes w(v2)."""
+    return History(
+        [
+            write(0, "X", 1, 1.0),
+            read(1, "X", 1, 2.0),  # site 1 sees v1...
+            write(1, "Y", 2, 3.0),  # ...then writes Y (causal edge)
+            read(2, "Y", 2, 4.0),  # site 2 sees the Y write...
+            read(2, "X", 0, 5.0),  # ...but then misses the older X write
+        ]
+    )
+
+
+@pytest.mark.parametrize("method", ENGINES)
+class TestSC:
+    def test_dekker_not_sc(self, method):
+        assert not check_sc(dekker_style_violation(), method=method)
+
+    def test_simple_sc(self, method):
+        h = History(
+            [
+                write(0, "X", 1, 1.0),
+                read(1, "X", 0, 0.5),
+                read(1, "X", 1, 2.0),
+            ]
+        )
+        result = check_sc(h, method=method)
+        assert result
+
+    def test_witness_is_valid(self, method, fig5):
+        result = check_sc(fig5, method=method)
+        assert result
+        assert is_legal(result.witness, fig5.initial_value)
+        assert respects_program_order(result.witness)
+        assert len(result.witness) == len(fig5)
+
+    def test_cc_only_history_not_sc(self, method):
+        assert not check_sc(cc_not_sc(), method=method)
+
+    def test_empty_history(self, method):
+        assert check_sc(History([]), method=method)
+
+    def test_write_only_history(self, method):
+        h = History([write(0, "X", 1, 1.0), write(1, "X", 2, 1.5)])
+        assert check_sc(h, method=method)
+
+
+@pytest.mark.parametrize("method", ENGINES)
+class TestCC:
+    def test_cc_not_sc_history(self, method):
+        h = cc_not_sc()
+        assert check_cc(h, method=method)
+        assert not check_sc(h, method=method)
+
+    def test_not_cc_history(self, method):
+        assert not check_cc(not_cc(), method=method)
+
+    def test_dekker_is_cc(self, method):
+        # The classic non-SC execution is causally consistent.
+        assert check_cc(dekker_style_violation(), method=method)
+
+    def test_site_witnesses_are_valid(self, method, fig6):
+        result = check_cc(fig6, method=method)
+        assert result
+        closure_pairs = fig6.causal_pairs()
+        for site, witness in result.site_witnesses.items():
+            assert is_legal(witness, fig6.initial_value)
+            assert respects(witness, closure_pairs)
+            expected = {op.uid for op in fig6.site_plus_writes(site)}
+            assert {op.uid for op in witness} == expected
+
+    def test_empty_history(self, method):
+        assert check_cc(History([]), method=method)
+
+
+class TestBudget:
+    def test_search_budget_raises(self, fig5):
+        with pytest.raises(SearchBudgetExceeded):
+            check_sc(fig5, budget=1, method="search")
+
+    def test_constraint_branch_budget(self):
+        from repro.checkers.constraint import find_constrained_serialization
+
+        h = cc_not_sc()
+        reads_from = {r: h.writer_of(r) for r in h.reads}
+        with pytest.raises(SearchBudgetExceeded):
+            find_constrained_serialization(
+                list(h.operations),
+                h.immediate_program_order(),
+                reads_from,
+                branch_budget=0,
+            )
+
+
+class TestViolationExplanations:
+    def test_sc_violation_names_concrete_operations(self, fig6):
+        result = check_sc(fig6)
+        assert not result
+        # The explanation must reference actual operations of the history.
+        assert "forced" in result.violation
+        assert any(
+            op.label() in result.violation for op in fig6.operations
+        )
+
+    def test_cc_violation_explains_initial_value_conflict(self):
+        result = check_cc(not_cc())
+        assert not result
+        assert "initial value" in result.violation or "forced" in result.violation
+
+    def test_dekker_explanation_mentions_cycle_or_between(self):
+        result = check_sc(dekker_style_violation())
+        assert not result
+        assert "forced" in result.violation
+
+
+class TestEngineAgreement:
+    def test_engines_agree_on_random_histories(self, rng):
+        from repro.workloads import (
+            random_history,
+            random_replica_history,
+            random_sc_history,
+        )
+
+        for i in range(40):
+            generator = (random_sc_history, random_replica_history, random_history)[
+                i % 3
+            ]
+            h = generator(rng)
+            assert (
+                check_sc(h, method="search").satisfied
+                == check_sc(h, method="constraint").satisfied
+            ), f"SC disagreement on case {i}"
+            assert (
+                check_cc(h, method="search").satisfied
+                == check_cc(h, method="constraint").satisfied
+            ), f"CC disagreement on case {i}"

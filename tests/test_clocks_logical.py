@@ -1,0 +1,251 @@
+"""Tests for Lamport, vector and plausible clocks."""
+
+import pytest
+
+from repro.clocks.base import Ordering
+from repro.clocks.lamport import LamportClock, ScalarTimestamp
+from repro.clocks.plausible import (
+    CombClock,
+    KLamportClock,
+    REVClock,
+    REVTimestamp,
+)
+from repro.clocks.vector import VectorClock, VectorTimestamp
+
+
+class TestLamport:
+    def test_tick_increments(self):
+        clock = LamportClock(0)
+        assert clock.tick().counter == 1
+        assert clock.tick().counter == 2
+
+    def test_receive_takes_max_plus_one(self):
+        clock = LamportClock(0)
+        clock.tick()
+        stamped = clock.receive(ScalarTimestamp(10, 1))
+        assert stamped.counter == 11
+
+    def test_ordering(self):
+        a, b = ScalarTimestamp(1, 0), ScalarTimestamp(2, 1)
+        assert a.compare(b) is Ordering.BEFORE
+        assert b.compare(a) is Ordering.AFTER
+        assert ScalarTimestamp(1, 0).compare(ScalarTimestamp(1, 1)) is Ordering.CONCURRENT
+        assert ScalarTimestamp(1, 0).compare(ScalarTimestamp(1, 0)) is Ordering.EQUAL
+
+    def test_join_meet(self):
+        a, b = ScalarTimestamp(1, 0), ScalarTimestamp(5, 1)
+        assert a.join(b).counter == 5
+        assert a.meet(b).counter == 1
+
+    def test_negative_site_rejected(self):
+        with pytest.raises(ValueError):
+            LamportClock(-1)
+
+
+class TestVector:
+    def test_zero(self):
+        z = VectorTimestamp.zero(3)
+        assert list(z) == [0, 0, 0]
+        with pytest.raises(ValueError):
+            VectorTimestamp.zero(0)
+
+    def test_tick_bumps_own_entry(self):
+        clock = VectorClock(1, 3)
+        assert list(clock.tick()) == [0, 1, 0]
+
+    def test_receive_merges_and_ticks(self):
+        clock = VectorClock(0, 3)
+        clock.tick()
+        merged = clock.receive(VectorTimestamp((0, 4, 2)))
+        assert list(merged) == [2, 4, 2]
+
+    def test_merge_without_tick(self):
+        clock = VectorClock(0, 2)
+        merged = clock.merge(VectorTimestamp((0, 3)))
+        assert list(merged) == [0, 3]
+
+    def test_ordering(self):
+        a = VectorTimestamp((1, 2))
+        b = VectorTimestamp((2, 2))
+        c = VectorTimestamp((0, 3))
+        assert a.compare(b) is Ordering.BEFORE
+        assert b.compare(a) is Ordering.AFTER
+        assert a.compare(c) is Ordering.CONCURRENT
+        assert a.compare(VectorTimestamp((1, 2))) is Ordering.EQUAL
+
+    def test_join_meet_are_lattice_ops(self):
+        a = VectorTimestamp((1, 4))
+        b = VectorTimestamp((3, 2))
+        assert list(a.join(b)) == [3, 4]
+        assert list(a.meet(b)) == [1, 2]
+        # Lattice laws on a sample.
+        assert a.join(b) == b.join(a)
+        assert a.meet(b) == b.meet(a)
+        assert a.join(a) == a
+        assert a.join(a.meet(b)) == a
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            VectorTimestamp((1, 2)).compare(VectorTimestamp((1, 2, 3)))
+        with pytest.raises(ValueError):
+            VectorTimestamp((1, 2)).join(VectorTimestamp((1,)))
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            VectorTimestamp((-1, 0))
+
+    def test_immutability(self):
+        t = VectorTimestamp((1, 2))
+        with pytest.raises(AttributeError):
+            t.entries = (9, 9)
+
+    def test_site_out_of_range(self):
+        with pytest.raises(ValueError):
+            VectorClock(5, 3)
+
+    def test_sum(self):
+        assert VectorTimestamp((35, 4, 0, 72)).sum() == 111
+
+
+def _simulate_message_exchange(clock_factory, n_sites, script):
+    """Run a tiny script of ('tick', i) / ('send', i, j) steps; return a
+    list of (site, timestamp, event_index) plus the true causal order."""
+    clocks = [clock_factory(i) for i in range(n_sites)]
+    events = []  # (site, timestamp)
+    causal_preds = []  # set of event indices causally before event k
+    last_event_of_site = [None] * n_sites
+
+    def record(site, stamp, extra_pred=None):
+        preds = set()
+        if last_event_of_site[site] is not None:
+            k = last_event_of_site[site]
+            preds |= causal_preds[k] | {k}
+        if extra_pred is not None:
+            preds |= causal_preds[extra_pred] | {extra_pred}
+        events.append((site, stamp))
+        causal_preds.append(preds)
+        last_event_of_site[site] = len(events) - 1
+        return len(events) - 1
+
+    for step in script:
+        if step[0] == "tick":
+            _, i = step
+            record(i, clocks[i].tick())
+        else:
+            _, i, j = step
+            stamp = clocks[i].send()
+            send_idx = record(i, stamp)
+            record(j, clocks[j].receive(stamp), extra_pred=send_idx)
+    return events, causal_preds
+
+
+SCRIPT = [
+    ("tick", 0),
+    ("send", 0, 1),
+    ("tick", 2),
+    ("send", 1, 2),
+    ("tick", 0),
+    ("send", 2, 0),
+    ("tick", 1),
+    ("send", 0, 2),
+    ("tick", 2),
+]
+
+
+class TestPlausibility:
+    """Plausible clocks must never invert or hide causal order."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda i: REVClock(i, r=2),
+            lambda i: REVClock(i, r=3),
+            lambda i: KLamportClock(i, k=2),
+            lambda i: KLamportClock(i, k=3),
+            lambda i: CombClock([REVClock(i, r=2), KLamportClock(i, k=2)]),
+        ],
+        ids=["rev2", "rev3", "klamport2", "klamport3", "comb"],
+    )
+    def test_causal_order_reported(self, factory):
+        events, preds = _simulate_message_exchange(factory, 3, SCRIPT)
+        for k, (site_k, stamp_k) in enumerate(events):
+            for j in preds[k]:
+                _, stamp_j = events[j]
+                assert stamp_j.compare(stamp_k) is Ordering.BEFORE, (
+                    f"event {j} causally precedes {k} but clock says "
+                    f"{stamp_j.compare(stamp_k)}"
+                )
+
+    def test_vector_clock_characterizes_causality(self):
+        events, preds = _simulate_message_exchange(
+            lambda i: VectorClock(i, 3), 3, SCRIPT
+        )
+        for k, (_, stamp_k) in enumerate(events):
+            for j, (_, stamp_j) in enumerate(events):
+                if j == k:
+                    continue
+                causally_before = j in preds[k]
+                reported_before = stamp_j.compare(stamp_k) is Ordering.BEFORE
+                assert causally_before == reported_before
+
+    def test_concurrent_report_is_sound(self):
+        # If a plausible clock says CONCURRENT, the events must really be
+        # concurrent (checked against the vector clock ground truth).
+        rev_events, preds = _simulate_message_exchange(
+            lambda i: REVClock(i, r=2), 3, SCRIPT
+        )
+        for k, (_, stamp_k) in enumerate(rev_events):
+            for j, (_, stamp_j) in enumerate(rev_events):
+                if j == k:
+                    continue
+                if stamp_j.compare(stamp_k) is Ordering.CONCURRENT:
+                    assert j not in preds[k] and k not in preds[j]
+
+
+class TestREV:
+    def test_degenerate_rev_equals_vector(self):
+        # r >= n sites: REV is an exact vector clock.
+        events_rev, preds = _simulate_message_exchange(
+            lambda i: REVClock(i, r=3), 3, SCRIPT
+        )
+        events_vec, _ = _simulate_message_exchange(
+            lambda i: VectorClock(i, 3), 3, SCRIPT
+        )
+        for (_, rev_a), (_, vec_a) in zip(events_rev, events_vec):
+            assert list(rev_a.entries) == list(vec_a.entries)
+
+    def test_join_meet(self):
+        a = REVTimestamp(0, (1, 4))
+        b = REVTimestamp(1, (3, 2))
+        assert a.join(b).entries == (3, 4)
+        assert a.meet(b).entries == (1, 2)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            REVTimestamp(5, (1, 2))
+        with pytest.raises(ValueError):
+            REVClock(0, r=0)
+
+
+class TestComb:
+    def test_comb_is_at_least_as_accurate_as_components(self):
+        comb_events, preds = _simulate_message_exchange(
+            lambda i: CombClock([REVClock(i, r=2), KLamportClock(i, k=2)]),
+            3,
+            SCRIPT,
+        )
+        rev_events, _ = _simulate_message_exchange(
+            lambda i: REVClock(i, r=2), 3, SCRIPT
+        )
+        for k in range(len(comb_events)):
+            for j in range(len(comb_events)):
+                if j == k:
+                    continue
+                rev_verdict = rev_events[j][1].compare(rev_events[k][1])
+                comb_verdict = comb_events[j][1].compare(comb_events[k][1])
+                if rev_verdict is Ordering.CONCURRENT:
+                    assert comb_verdict is Ordering.CONCURRENT
+
+    def test_empty_comb_rejected(self):
+        with pytest.raises(ValueError):
+            CombClock([])

@@ -1,0 +1,146 @@
+"""Tests for physical clocks and the Section 3.2 comparison rules."""
+
+import pytest
+
+from repro.clocks.base import Ordering, compare_physical, definitely_before
+from repro.clocks.physical import (
+    DriftingClock,
+    ManualTime,
+    PerfectClock,
+    SkewedClock,
+    SynchronizedClock,
+    TimeServer,
+    measured_epsilon,
+    pairwise_epsilon,
+)
+
+
+class TestComparePhysical:
+    def test_exact_order_with_zero_epsilon(self):
+        assert compare_physical(1.0, 2.0) is Ordering.BEFORE
+        assert compare_physical(2.0, 1.0) is Ordering.AFTER
+        assert compare_physical(1.0, 1.0) is Ordering.EQUAL
+
+    def test_epsilon_makes_close_times_concurrent(self):
+        assert compare_physical(1.0, 1.5, epsilon=1.0) is Ordering.CONCURRENT
+        assert compare_physical(1.0, 2.5, epsilon=1.0) is Ordering.BEFORE
+
+    def test_definitely_before_matches_paper_rule(self):
+        # a definitely before b iff T(a) + epsilon < T(b)
+        assert definitely_before(1.0, 2.5, epsilon=1.0)
+        assert not definitely_before(1.0, 2.0, epsilon=1.0)
+
+    def test_equal_times_with_epsilon_are_equal(self):
+        assert compare_physical(3.0, 3.0, epsilon=1.0) is Ordering.EQUAL
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            compare_physical(1.0, 2.0, epsilon=-0.1)
+
+    def test_flipped(self):
+        assert Ordering.BEFORE.flipped() is Ordering.AFTER
+        assert Ordering.AFTER.flipped() is Ordering.BEFORE
+        assert Ordering.CONCURRENT.flipped() is Ordering.CONCURRENT
+        assert Ordering.EQUAL.flipped() is Ordering.EQUAL
+
+
+class TestManualTime:
+    def test_advance(self):
+        t = ManualTime()
+        assert t() == 0.0
+        t.advance(2.5)
+        assert t() == 2.5
+
+    def test_backwards_rejected(self):
+        t = ManualTime(5.0)
+        with pytest.raises(ValueError):
+            t.advance(-1.0)
+        with pytest.raises(ValueError):
+            t.set(4.0)
+
+
+class TestClockModels:
+    def test_perfect_clock_reads_true_time(self):
+        t = ManualTime(3.0)
+        clock = PerfectClock(t)
+        assert clock.now() == 3.0
+        assert clock.epsilon_bound == 0.0
+
+    def test_skewed_clock(self):
+        t = ManualTime(10.0)
+        clock = SkewedClock(t, offset=0.5)
+        assert clock.now() == 10.5
+        assert clock.epsilon_bound == 1.0
+
+    def test_drifting_clock_grows_linearly(self):
+        t = ManualTime()
+        clock = DriftingClock(t, drift=0.1)
+        t.advance(10.0)
+        assert clock.now() == pytest.approx(11.0)
+
+    def test_drifting_clock_set_to(self):
+        t = ManualTime()
+        clock = DriftingClock(t, drift=0.1)
+        t.advance(10.0)
+        clock.set_to(10.0)
+        assert clock.now() == pytest.approx(10.0)
+        t.advance(1.0)
+        assert clock.now() == pytest.approx(11.0 + 0.1)
+
+
+class TestTimeServer:
+    def test_zero_error_reads_exact(self):
+        t = ManualTime(7.0)
+        server = TimeServer(t, max_error=0.0)
+        assert server.read() == 7.0
+
+    def test_bounded_error(self):
+        t = ManualTime(7.0)
+        server = TimeServer(t, max_error=0.25, seed=3)
+        for _ in range(50):
+            assert abs(server.read() - 7.0) <= 0.25
+
+    def test_negative_error_rejected(self):
+        with pytest.raises(ValueError):
+            TimeServer(ManualTime(), max_error=-1.0)
+
+
+class TestSynchronizedClock:
+    def test_stays_within_bound(self):
+        t = ManualTime()
+        server = TimeServer(t, max_error=0.05, seed=1)
+        clock = SynchronizedClock(
+            t, server, drift=0.02, offset=0.04, sync_interval=1.0
+        )
+        worst = 0.0
+        for _ in range(200):
+            t.advance(0.25)
+            worst = max(worst, abs(clock.now() - t()))
+        assert worst <= clock.epsilon_bound / 2.0 + 1e-9
+
+    def test_sync_counter_increments(self):
+        t = ManualTime()
+        server = TimeServer(t, max_error=0.0)
+        clock = SynchronizedClock(t, server, drift=0.01, sync_interval=1.0)
+        t.advance(5.0)
+        clock.now()
+        assert clock.sync_count >= 1
+
+    def test_invalid_interval_rejected(self):
+        t = ManualTime()
+        server = TimeServer(t)
+        with pytest.raises(ValueError):
+            SynchronizedClock(t, server, sync_interval=0.0)
+
+
+class TestEnsembles:
+    def test_pairwise_epsilon(self):
+        t = ManualTime()
+        clocks = [PerfectClock(t), SkewedClock(t, 0.2)]
+        assert pairwise_epsilon(clocks) == pytest.approx(0.4)
+        assert pairwise_epsilon([]) == 0.0
+
+    def test_measured_epsilon(self):
+        t = ManualTime(1.0)
+        clocks = [PerfectClock(t), SkewedClock(t, 0.2), SkewedClock(t, -0.1)]
+        assert measured_epsilon(clocks) == pytest.approx(0.3)

@@ -1,0 +1,165 @@
+"""Tests for the extended criteria: PRAM, coherence, processor, timed-X."""
+
+import math
+import random
+
+import pytest
+
+from repro.checkers import check_cc, check_sc
+from repro.checkers.extensions import (
+    check_coherence,
+    check_pram,
+    check_processor,
+    check_timed,
+)
+from repro.core.history import History
+from repro.core.operations import read, write
+
+
+def pram_not_cc():
+    """The classic separator: site 2's write depends (causally, through a
+    read) on site 0's write, but site 3 sees them in the other order.
+    PRAM only protects per-writer order, so it accepts."""
+    return History(
+        [
+            write(0, "X", 1, 1.0),
+            read(1, "X", 1, 2.0),
+            write(1, "Y", 2, 3.0),
+            read(2, "Y", 2, 4.0),
+            read(2, "X", 0, 5.0),  # misses the causally-older X write
+        ]
+    )
+
+
+def not_pram():
+    """One writer's two writes observed out of program order."""
+    return History(
+        [
+            write(0, "X", 1, 1.0),
+            write(0, "X", 2, 2.0),
+            read(1, "X", 2, 3.0),
+            read(1, "X", 1, 4.0),  # sees the earlier write later
+        ]
+    )
+
+
+def coherent_not_pram():
+    """Per-object orders are fine, but one writer's writes to two
+    different objects are seen out of program order."""
+    return History(
+        [
+            write(0, "X", 1, 1.0),
+            write(0, "Y", 2, 2.0),
+            read(1, "Y", 2, 3.0),
+            read(1, "X", 0, 4.0),  # X write not yet seen after Y write
+        ]
+    )
+
+
+def pram_not_coherent():
+    """Two sites order two concurrent writes to one object differently."""
+    return History(
+        [
+            write(0, "X", 1, 1.0),
+            write(1, "X", 2, 1.5),
+            read(2, "X", 1, 2.0),
+            read(2, "X", 2, 3.0),
+            read(3, "X", 2, 2.1),
+            read(3, "X", 1, 3.1),
+        ]
+    )
+
+
+class TestPram:
+    def test_pram_accepts_non_causal(self):
+        h = pram_not_cc()
+        assert check_pram(h)
+        assert not check_cc(h)
+
+    def test_pram_rejects_reordered_writer(self):
+        assert not check_pram(not_pram())
+
+    def test_cc_implies_pram(self, rng):
+        from repro.workloads import random_replica_history, random_sc_history
+
+        for i in range(15):
+            h = (random_sc_history if i % 2 else random_replica_history)(rng)
+            if check_cc(h).satisfied:
+                assert check_pram(h).satisfied
+
+    def test_paper_figures_are_pram(self, fig1, fig5, fig6):
+        for h in (fig1, fig5, fig6):
+            assert check_pram(h)
+
+
+class TestCoherence:
+    def test_coherent_but_not_pram(self):
+        h = coherent_not_pram()
+        assert check_coherence(h)
+        assert not check_pram(h)
+
+    def test_pram_but_not_coherent(self):
+        h = pram_not_coherent()
+        assert check_pram(h)
+        assert not check_coherence(h)
+
+    def test_sc_implies_coherence(self, rng):
+        from repro.workloads import random_sc_history
+
+        for _ in range(10):
+            h = random_sc_history(rng)
+            assert check_sc(h).satisfied
+            assert check_coherence(h).satisfied
+
+    def test_single_object_coherence_equals_sc(self, rng):
+        from repro.workloads import random_history
+
+        for _ in range(15):
+            h = random_history(rng, n_objects=1)
+            assert check_coherence(h).satisfied == check_sc(h).satisfied
+
+
+class TestProcessor:
+    def test_sc_implies_pc(self, fig1, fig5):
+        for h in (fig1, fig5):
+            assert check_processor(h)
+
+    def test_pc_rejects_incoherent(self):
+        assert not check_processor(pram_not_coherent())
+
+    def test_pc_rejects_non_pram(self):
+        assert not check_processor(coherent_not_pram())
+
+    def test_pc_implies_pram_and_coherence(self, rng):
+        from repro.workloads import random_history
+
+        for _ in range(20):
+            h = random_history(rng, n_ops=10)
+            if check_processor(h).satisfied:
+                assert check_pram(h).satisfied
+                assert check_coherence(h).satisfied
+
+
+class TestTimedCombinator:
+    def test_timed_sc_equals_tsc(self, fig5):
+        from repro.checkers import check_tsc
+
+        for delta in (26.0, 50.0, 96.0, math.inf):
+            combined = check_timed(fig5, check_sc, delta)
+            assert combined.satisfied == check_tsc(fig5, delta).satisfied
+
+    def test_timed_cc_equals_tcc(self, fig6):
+        from repro.checkers import check_tcc
+
+        for delta in (30.0, 300.0):
+            combined = check_timed(fig6, check_cc, delta)
+            assert combined.satisfied == check_tcc(fig6, delta).satisfied
+
+    def test_timed_pram(self, fig1):
+        # Figure 1 is PRAM; timed-PRAM fails at small delta like TSC does.
+        assert check_timed(fig1, check_pram, 400.0)
+        assert not check_timed(fig1, check_pram, 60.0)
+
+    def test_criterion_name_propagates(self, fig1):
+        result = check_timed(fig1, check_pram, 400.0)
+        assert result.criterion == "Timed-PRAM"

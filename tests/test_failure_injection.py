@@ -1,0 +1,89 @@
+"""Failure injection: the protocols on a lossy network with retries.
+
+Messages are dropped uniformly at random; clients retransmit after
+``retry_timeout`` and servers deduplicate writes, so every operation
+eventually completes and the recorded execution still satisfies the
+variant's criterion.
+"""
+
+import pytest
+
+from repro.checkers import check_cc, check_sc
+from repro.protocol import Cluster
+from repro.workloads import uniform_workload
+
+DROP = 0.15
+RETRY = 0.2
+
+
+def run_lossy(variant, delta, seed, **kw):
+    cluster = Cluster(
+        n_clients=3, n_servers=1, variant=variant, delta=delta, seed=seed,
+        drop_probability=DROP, retry_timeout=RETRY, **kw
+    )
+    cluster.spawn(uniform_workload(["A", "B"], n_ops=20, write_fraction=0.3))
+    cluster.run()
+    return cluster
+
+
+class TestLossyNetwork:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_all_operations_complete(self, seed):
+        import math
+
+        cluster = run_lossy("sc", math.inf, seed)
+        stats = cluster.aggregate_stats()
+        assert stats.reads + stats.writes == 60  # nothing hangs
+        assert cluster.network.stats.messages_dropped > 0  # losses happened
+        assert stats.retries > 0  # retries actually fired
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_sc_survives_drops(self, seed):
+        import math
+
+        cluster = run_lossy("sc", math.inf, seed)
+        assert check_sc(cluster.history())
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_cc_survives_drops(self, seed):
+        import math
+
+        cluster = run_lossy("cc", math.inf, seed)
+        assert check_cc(cluster.history())
+
+    def test_tsc_survives_drops_with_weakened_bound(self):
+        # Retries stretch the effective round trip: the timedness bound
+        # weakens by the retransmission delay but must still hold.
+        from repro.analysis.metrics import timedness_report
+
+        cluster = run_lossy("tsc", 0.4, seed=5)
+        history = cluster.history()
+        assert check_sc(history)
+        slack = 0.15 + 3 * RETRY  # a few retransmission rounds
+        assert timedness_report(history, 0.4 + slack)["late_reads"] == 0
+
+    def test_write_dedup_prevents_value_resurrection(self):
+        """A retransmitted write must not re-install over a newer write."""
+        import math
+
+        for seed in range(6):
+            cluster = run_lossy("sc", math.inf, seed)
+            history = cluster.history()
+            # For every object, the server's final value must be the
+            # last-installed write that the trace knows about, never an
+            # older value resurrected by a duplicate.
+            server = cluster.servers[0]
+            for obj, version in server.store.items():
+                writes = history.writes_to(obj)
+                if writes:
+                    assert version.value == writes[-1].value, (
+                        f"seed {seed}: {obj} resurrected {version.value}"
+                    )
+
+    def test_lossy_without_retries_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(n_clients=2, variant="sc", drop_probability=0.1)
+
+    def test_invalid_retry_timeout(self):
+        with pytest.raises(ValueError):
+            Cluster(n_clients=2, variant="sc", retry_timeout=0.0)

@@ -1,0 +1,119 @@
+"""Coverage for smaller helpers across the package."""
+
+import asyncio
+import math
+
+import pytest
+
+from repro.analysis.sweep import epsilon_sweep, run_cluster_experiment
+from repro.checkers import delta_spectrum
+from repro.clocks.plausible import CombClock, KLamportClock, REVClock
+from repro.clocks.xi import figure7_examples
+from repro.core.history import History
+from repro.core.operations import read, write
+from repro.core.render import describe_violation
+from repro.protocol import messages
+from repro.sim.aio import run_aio_session
+from repro.workloads import uniform_workload
+
+
+class TestAioHelper:
+    def test_run_aio_session_returns_history_and_session(self):
+        async def workload(session, client):
+            await client.write("x", session.values.next_value(client.client_id))
+            await client.read("x")
+
+        history, session = run_aio_session(2, workload, delta=math.inf,
+                                           latency=0.001)
+        assert len(history) == 4
+        assert session.aggregate_stats().writes == 2
+
+
+class TestSweepHelpers:
+    def test_epsilon_sweep_rows(self):
+        rows = epsilon_sweep(
+            [0.0, 0.05],
+            lambda: uniform_workload(["A"], n_ops=8, write_fraction=0.2),
+            variant="tsc",
+            delta=0.5,
+            n_clients=2,
+            seed=1,
+        )
+        assert [row["epsilon"] for row in rows] == [0.0, 0.05]
+        assert all(row["variant"] == "tsc" for row in rows)
+
+    def test_run_cluster_experiment_row_fields(self):
+        row = run_cluster_experiment(
+            "sc", math.inf,
+            lambda: uniform_workload(["A"], n_ops=8, write_fraction=0.2),
+            n_clients=2, seed=1,
+        )
+        for field in ("hit_ratio", "msgs_per_read", "mean_staleness", "bytes"):
+            assert field in row
+        assert "late_frac_at_delta" not in row  # only for finite delta
+
+    def test_timed_row_has_late_fraction(self):
+        row = run_cluster_experiment(
+            "tsc", 0.5,
+            lambda: uniform_workload(["A"], n_ops=8, write_fraction=0.2),
+            n_clients=2, seed=1,
+        )
+        assert "late_frac_at_delta" in row
+
+
+class TestDeltaSpectrumDefaults:
+    def test_zero_threshold_grid(self):
+        h = History([write(0, "X", 1, 1.0), read(1, "X", 1, 2.0)])
+        spectrum = delta_spectrum(h)
+        assert all(tsc for tsc, _ in spectrum.values())
+
+
+class TestClockOdds:
+    def test_klamport_receive_shifts_levels(self):
+        a, b = KLamportClock(0, k=3), KLamportClock(1, k=3)
+        a.tick(); a.tick(); a.tick()
+        stamp = a.send()  # levels[0] == 4
+        merged = b.receive(stamp)
+        assert merged.levels[0] == 5  # max(0, 4) + 1
+        assert merged.levels[1] == 4  # remote head shifted down
+
+    def test_klamport_validation(self):
+        with pytest.raises(ValueError):
+            KLamportClock(-1)
+        with pytest.raises(ValueError):
+            KLamportClock(0, k=0)
+        with pytest.raises(ValueError):
+            KLamportClock(0, k=2).receive(KLamportClock(0, k=3).now())
+
+    def test_comb_send_and_repr(self):
+        clock = CombClock([REVClock(0, 2), KLamportClock(0, 2)])
+        stamp = clock.send()
+        assert len(stamp.parts) == 2
+        assert "CombClock" in repr(clock)
+
+    def test_rev_zero(self):
+        z = REVClock.zero(5, 2)
+        assert z.slot == 1 and z.entries == (0, 0)
+
+
+class TestRenderHelpers:
+    def test_describe_violation(self):
+        h = History([write(0, "X", 1, 1.0), read(1, "X", 1, 2.0)])
+        text = describe_violation(h, "nothing actually wrong")
+        assert "violation: nothing actually wrong" in text
+        assert "Site 0" in text
+
+
+class TestFigure7Helper:
+    def test_examples_dict(self):
+        examples = figure7_examples()
+        assert examples["<3,4>"] == pytest.approx(5.0)
+        assert set(examples) == {"<3,4>", "<3,2>", "<2,4>"}
+
+
+class TestMessageSizes:
+    def test_bulk_vs_control(self):
+        assert messages.size_of(messages.VERSION) == messages.OBJECT_SIZE
+        assert messages.size_of(messages.STILL_VALID) == messages.CONTROL_SIZE
+        assert messages.size_of(messages.PUSH) == messages.OBJECT_SIZE
+        assert messages.size_of(messages.WRITE_ACK) == messages.CONTROL_SIZE

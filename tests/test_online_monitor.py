@@ -1,0 +1,122 @@
+"""Tests for the streaming timedness monitor."""
+
+import random
+
+import pytest
+
+from repro.checkers.online import OnlineTimedMonitor
+from repro.core.history import History
+from repro.core.operations import read, write
+from repro.core.timed import late_reads, min_timed_delta
+from repro.paperdata import figure1, figure5, figure6
+
+
+def stream_of(history: History):
+    return sorted(history.operations, key=lambda op: op.time)
+
+
+class TestBasics:
+    def test_write_returns_none(self):
+        monitor = OnlineTimedMonitor(delta=1.0)
+        assert monitor.observe(write(0, "x", 1, 1.0)) is None
+
+    def test_fresh_read_on_time(self):
+        monitor = OnlineTimedMonitor(delta=1.0)
+        monitor.observe(write(0, "x", 1, 1.0))
+        verdict = monitor.observe(read(1, "x", 1, 2.0))
+        assert verdict.on_time and verdict.required_delta == 0.0
+
+    def test_stale_read_flagged_with_missed_writes(self):
+        monitor = OnlineTimedMonitor(delta=1.0)
+        monitor.observe(write(0, "x", 1, 1.0))
+        monitor.observe(write(0, "x", 2, 2.0))
+        verdict = monitor.observe(read(1, "x", 1, 10.0))
+        assert not verdict.on_time
+        assert verdict.missed == (("w0(x)2", 2.0),)
+        assert verdict.required_delta == pytest.approx(8.0)
+
+    def test_initial_value_read(self):
+        monitor = OnlineTimedMonitor(delta=1.0)
+        monitor.observe(write(0, "x", 1, 1.0))
+        verdict = monitor.observe(read(1, "x", 0, 5.0))
+        assert not verdict.on_time  # the write at 1 is 4 > delta old
+
+    def test_epsilon_shrinks_window(self):
+        monitor = OnlineTimedMonitor(delta=1.0, epsilon=8.0)
+        monitor.observe(write(0, "x", 1, 1.0))
+        monitor.observe(write(0, "x", 2, 2.0))
+        verdict = monitor.observe(read(1, "x", 1, 10.0))
+        assert verdict.on_time  # 2 + 8 >= 10 - 1
+
+    def test_out_of_order_rejected(self):
+        monitor = OnlineTimedMonitor(delta=1.0)
+        monitor.observe(write(0, "x", 1, 5.0))
+        with pytest.raises(ValueError):
+            monitor.observe(read(1, "x", 1, 4.0))
+
+    def test_duplicate_value_rejected(self):
+        monitor = OnlineTimedMonitor(delta=1.0)
+        monitor.observe(write(0, "x", 1, 1.0))
+        with pytest.raises(ValueError):
+            monitor.observe(write(1, "x", 1, 2.0))
+
+    def test_unknown_value_rejected(self):
+        monitor = OnlineTimedMonitor(delta=1.0)
+        with pytest.raises(ValueError):
+            monitor.observe(read(0, "x", 42, 1.0))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            OnlineTimedMonitor(delta=-1.0)
+        with pytest.raises(ValueError):
+            OnlineTimedMonitor(delta=1.0, epsilon=-1.0)
+
+
+class TestAgreementWithOffline:
+    @pytest.mark.parametrize(
+        "factory,delta",
+        [(figure1, 60.0), (figure5, 50.0), (figure5, 97.0), (figure6, 30.0)],
+    )
+    def test_matches_late_reads(self, factory, delta):
+        history = factory()
+        monitor = OnlineTimedMonitor(delta=delta)
+        verdicts = monitor.observe_all(stream_of(history))
+        online_late = {v.read.uid for v in verdicts if not v.on_time}
+        offline_late = {r.uid for r in late_reads(history, delta)}
+        assert online_late == offline_late
+
+    @pytest.mark.parametrize("factory", [figure1, figure5, figure6])
+    def test_threshold_matches_offline(self, factory):
+        history = factory()
+        monitor = OnlineTimedMonitor(delta=0.0)
+        monitor.observe_all(stream_of(history))
+        assert monitor.stats.threshold == pytest.approx(min_timed_delta(history))
+
+    def test_random_histories_agree(self):
+        from repro.workloads import random_replica_history
+
+        rng = random.Random(7)
+        for _ in range(15):
+            history = random_replica_history(rng)
+            delta = rng.uniform(0.0, 10.0)
+            monitor = OnlineTimedMonitor(delta=delta)
+            verdicts = monitor.observe_all(stream_of(history))
+            online_late = {v.read.uid for v in verdicts if not v.on_time}
+            offline_late = {r.uid for r in late_reads(history, delta)}
+            assert online_late == offline_late
+
+
+class TestStats:
+    def test_counts(self):
+        history = figure1()
+        monitor = OnlineTimedMonitor(delta=60.0)
+        monitor.observe_all(stream_of(history))
+        assert monitor.stats.reads == 4
+        assert monitor.stats.writes == 2
+        assert monitor.stats.late_reads == 2
+        assert monitor.late_fraction == 0.5
+        assert monitor.stats.late_by_object == {"x": 2}
+
+    def test_empty_monitor(self):
+        monitor = OnlineTimedMonitor(delta=1.0)
+        assert monitor.late_fraction == 0.0

@@ -1,0 +1,63 @@
+"""Unit tests for repro.core.operations."""
+
+import pytest
+
+from repro.core.operations import OpKind, Operation, read, write
+
+
+class TestConstruction:
+    def test_read_builder(self):
+        op = read(2, "X", 7, 10.5)
+        assert op.kind is OpKind.READ
+        assert op.is_read and not op.is_write
+        assert (op.site, op.obj, op.value, op.time) == (2, "X", 7, 10.5)
+
+    def test_write_builder(self):
+        op = write(0, "Y", "v1", 3)
+        assert op.kind is OpKind.WRITE
+        assert op.is_write and not op.is_read
+        assert op.time == 3.0 and isinstance(op.time, float)
+
+    def test_uids_are_unique_and_increasing(self):
+        a, b = read(0, "X", 1, 1.0), read(0, "X", 1, 1.0)
+        assert a.uid != b.uid
+        assert b.uid > a.uid
+
+    def test_identity_equality(self):
+        a = read(0, "X", 1, 1.0)
+        b = read(0, "X", 1, 1.0)
+        assert a == a
+        assert a != b
+        assert len({a, b}) == 2
+
+    def test_negative_site_rejected(self):
+        with pytest.raises(ValueError):
+            read(-1, "X", 1, 1.0)
+
+    def test_effective_time_within_interval(self):
+        op = read(0, "X", 1, 5.0, start=4.0, end=6.0)
+        assert op.start == 4.0 and op.end == 6.0
+
+    def test_effective_time_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            read(0, "X", 1, 3.0, start=4.0)
+
+    def test_effective_time_after_end_rejected(self):
+        with pytest.raises(ValueError):
+            read(0, "X", 1, 7.0, end=6.0)
+
+
+class TestPresentation:
+    def test_label_matches_paper_style(self):
+        assert write(2, "C", 7, 340.0).label() == "w2(C)7"
+        assert read(4, "C", 6, 436.0).label() == "r4(C)6"
+
+    def test_repr_contains_time(self):
+        assert "@340" in repr(write(2, "C", 7, 340.0))
+
+
+class TestImmutability:
+    def test_frozen(self):
+        op = read(0, "X", 1, 1.0)
+        with pytest.raises(AttributeError):
+            op.value = 2

@@ -1,0 +1,75 @@
+"""Tests for ReorderingMonitor and TraceRecorder listeners."""
+
+import pytest
+
+from repro.checkers import OnlineTimedMonitor, ReorderingMonitor, check_sc
+from repro.core.operations import read, write
+from repro.core.timed import late_reads
+from repro.protocol import Cluster
+from repro.sim.trace import TraceRecorder
+from repro.workloads import uniform_workload
+
+
+class TestReorderingMonitor:
+    def test_reorders_within_horizon(self):
+        monitor = ReorderingMonitor(OnlineTimedMonitor(delta=1.0), horizon=1.0)
+        # Arrivals out of effective-time order, within the horizon.
+        monitor.push(write(0, "x", 1, 1.0), now=1.2)
+        monitor.push(read(1, "x", 0, 0.5), now=1.3)  # effectively earlier
+        verdicts = monitor.flush()
+        assert len(verdicts) == 1
+        assert verdicts[0].on_time  # initial read before the write: fine
+
+    def test_drains_past_watermark_only(self):
+        monitor = ReorderingMonitor(OnlineTimedMonitor(delta=1.0), horizon=1.0)
+        released = monitor.push(write(0, "x", 1, 1.0), now=1.1)
+        assert released == []  # 1.0 > 1.1 - 1.0 watermark: still buffered
+        released = monitor.push(read(1, "x", 1, 1.5), now=3.0)
+        # watermark 2.0 releases both ops, producing one verdict.
+        assert len(released) == 1
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            ReorderingMonitor(OnlineTimedMonitor(delta=1.0), horizon=-0.5)
+
+    def test_live_cluster_monitoring_matches_offline(self):
+        delta = 0.3
+        cluster = Cluster(n_clients=4, n_servers=1, variant="sc", seed=3)
+        inner = OnlineTimedMonitor(delta=delta)
+        monitor = ReorderingMonitor(inner, horizon=0.2)
+        cluster.recorder.add_listener(
+            lambda op: monitor.push(op, now=cluster.sim.now)
+        )
+        cluster.spawn(uniform_workload(["A", "B"], n_ops=20, write_fraction=0.3))
+        cluster.run()
+        verdicts = monitor.flush()
+        history = cluster.history()
+        online_late = {v.read.uid for v in verdicts if not v.on_time}
+        offline_late = {r.uid for r in late_reads(history, delta)}
+        assert online_late == offline_late
+        assert inner.stats.reads == len(history.reads)
+
+
+class TestRecorderListeners:
+    def test_listener_sees_every_operation(self):
+        recorder = TraceRecorder()
+        seen = []
+        recorder.add_listener(seen.append)
+        recorder.record_write(0, "x", "v", 1.0)
+        recorder.record_read(1, "x", "v", 2.0)
+        assert [op.label() for op in seen] == ["w0(x)v", "r1(x)v"]
+
+    def test_listener_does_not_disturb_history(self):
+        recorder = TraceRecorder()
+        recorder.add_listener(lambda op: None)
+        recorder.record_write(0, "x", "v", 1.0)
+        assert len(recorder.history()) == 1
+
+    def test_cluster_run_with_listener_still_sc(self):
+        cluster = Cluster(n_clients=3, n_servers=1, variant="sc", seed=6)
+        count = [0]
+        cluster.recorder.add_listener(lambda op: count.__setitem__(0, count[0] + 1))
+        cluster.spawn(uniform_workload(["A"], n_ops=10, write_fraction=0.2))
+        cluster.run()
+        assert count[0] == len(cluster.history())
+        assert check_sc(cluster.history())

@@ -1,0 +1,114 @@
+"""Tests for history slicing and the event combinators."""
+
+import pytest
+
+from repro.core.history import History
+from repro.core.operations import read, write
+from repro.sim.kernel import AllOf, AnyOf, SimulationError, Simulator
+
+
+def sample_history():
+    return History(
+        [
+            write(0, "X", 1, 1.0),
+            write(1, "Y", 2, 2.0),
+            read(2, "X", 1, 3.0),
+            read(2, "Y", 2, 4.0),
+            write(0, "X", 3, 5.0),
+            read(1, "X", 3, 6.0),
+        ]
+    )
+
+
+class TestHistorySlices:
+    def test_restrict_sites(self):
+        sliced = sample_history().restrict_sites([0, 2])
+        assert sliced.sites == [0, 2]
+        assert len(sliced) == 4
+
+    def test_restrict_sites_relaxed_validation(self):
+        # Site 2's read of Y survives even though Y's writer is excluded.
+        sliced = sample_history().restrict_sites([2])
+        assert len(sliced.reads) == 2
+
+    def test_restrict_objects(self):
+        sliced = sample_history().restrict_objects(["X"])
+        assert sliced.objects == ["X"]
+        assert len(sliced) == 4
+
+    def test_time_window(self):
+        sliced = sample_history().time_window(2.0, 4.0)
+        assert [op.time for op in sliced.operations] == [2.0, 3.0, 4.0]
+
+    def test_time_window_validation(self):
+        with pytest.raises(ValueError):
+            sample_history().time_window(5.0, 1.0)
+
+    def test_slices_preserve_initial_value(self):
+        h = History([read(0, "X", None, 1.0)], initial_value=None)
+        assert h.restrict_sites([0]).initial_value is None
+
+
+class TestEventCombinators:
+    def test_all_of_collects_values_in_order(self):
+        sim = Simulator()
+        a, b = sim.event(), sim.event()
+        combined = sim.all_of([a, b])
+        got = []
+        combined.add_callback(lambda e: got.append((e.value, sim.now)))
+        sim.schedule(2.0, a.succeed, "first")
+        sim.schedule(1.0, b.succeed, "second")
+        sim.run()
+        assert got == [(["first", "second"], 2.0)]
+
+    def test_any_of_reports_winner(self):
+        sim = Simulator()
+        a, b = sim.event(), sim.event()
+        combined = sim.any_of([a, b])
+        got = []
+        combined.add_callback(lambda e: got.append((e.value, sim.now)))
+        sim.schedule(2.0, a.succeed, "slow")
+        sim.schedule(1.0, b.succeed, "fast")
+        sim.run()
+        assert got == [((1, "fast"), 1.0)]
+
+    def test_any_of_ignores_later_completions(self):
+        sim = Simulator()
+        a, b = sim.event(), sim.event()
+        combined = sim.any_of([a, b])
+        sim.schedule(1.0, a.succeed, "x")
+        sim.schedule(2.0, b.succeed, "y")
+        sim.run()
+        assert combined.value == (0, "x")
+
+    def test_empty_combinators_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            AllOf(sim, [])
+        with pytest.raises(SimulationError):
+            AnyOf(sim, [])
+
+    def test_process_can_wait_on_combinator(self):
+        sim = Simulator()
+        a, b = sim.event(), sim.event()
+        results = []
+
+        def proc():
+            values = yield sim.all_of([a, b])
+            results.append(values)
+
+        sim.process(proc())
+        sim.schedule(1.0, a.succeed, 1)
+        sim.schedule(2.0, b.succeed, 2)
+        sim.run()
+        assert results == [[1, 2]]
+
+    def test_all_of_with_pretriggered_event(self):
+        sim = Simulator()
+        a = sim.event()
+        a.succeed("done")
+        b = sim.event()
+        combined = sim.all_of([a, b])
+        sim.schedule(1.0, b.succeed, "later")
+        sim.run()
+        assert combined.value == ["done", "later"]

@@ -1,0 +1,144 @@
+"""Tests for delta thresholds and the Figure 4a hierarchy."""
+
+import math
+
+import pytest
+
+from repro.checkers import (
+    check_tcc,
+    check_tsc,
+    classify,
+    delta_spectrum,
+    hierarchy_violations,
+    lin_equals_tsc_zero,
+    sc_equals_tsc_infinity,
+    tcc_threshold,
+    threshold_report,
+    tsc_threshold,
+)
+from repro.clocks.vector import VectorTimestamp
+from repro.clocks.xi import SumXi
+from repro.core.history import History
+from repro.core.operations import read, write
+
+
+class TestThresholds:
+    def test_figure5_threshold(self, fig5):
+        assert tsc_threshold(fig5) == pytest.approx(96.0)
+        assert tcc_threshold(fig5) == pytest.approx(96.0)
+
+    def test_figure6_thresholds(self, fig6):
+        assert math.isinf(tsc_threshold(fig6))  # not SC: no delta works
+        thr = tcc_threshold(fig6)
+        assert math.isfinite(thr)
+        assert check_tcc(fig6, thr)
+        assert not check_tcc(fig6, thr - 1.0)
+
+    def test_figure1_threshold(self, fig1):
+        assert tsc_threshold(fig1) == pytest.approx(320.0)
+
+    def test_threshold_report_consistency(self, fig5):
+        report = threshold_report(fig5)
+        assert report.sc_holds and report.cc_holds
+        assert report.satisfies_tsc(100.0)
+        assert not report.satisfies_tsc(50.0)
+        assert report.tsc_threshold == report.timed_threshold
+
+    def test_logical_threshold(self):
+        from repro.checkers import tcc_logical_threshold
+
+        w1 = write(0, "X", "a", 1.0, ltime=VectorTimestamp((1, 0, 0)))
+        w2 = write(1, "X", "b", 2.0, ltime=VectorTimestamp((1, 1, 0)))
+        r = read(2, "X", "a", 3.0, ltime=VectorTimestamp((1, 1, 5)))
+        h = History([w1, w2, r], initial_value=None)
+        assert tcc_logical_threshold(h, SumXi()) == pytest.approx(5.0)
+
+
+class TestSpectrum:
+    def test_spectrum_is_monotone(self, fig5):
+        spectrum = delta_spectrum(fig5, deltas=[0, 26, 50, 96, 97, 1000])
+        verdicts = [tsc for tsc, _ in spectrum.values()]
+        # Once satisfied, stays satisfied as delta grows.
+        first_true = verdicts.index(True)
+        assert all(verdicts[first_true:])
+        assert not any(verdicts[:first_true])
+
+    def test_default_grid_brackets_threshold(self, fig5):
+        spectrum = delta_spectrum(fig5)
+        assert any(tsc for tsc, _ in spectrum.values())
+        assert not all(tsc for tsc, _ in spectrum.values())
+
+
+class TestHierarchy:
+    def test_figures_respect_hierarchy(self, fig1, fig5, fig6):
+        for h in (fig1, fig5, fig6):
+            for delta in (0.0, 50.0, 300.0, math.inf):
+                cls = classify(h, delta)
+                assert hierarchy_violations(cls) == []
+
+    def test_classification_regions(self, fig5, fig6):
+        cls5 = classify(fig5, 100.0)
+        assert cls5.sc and cls5.cc and cls5.tsc and cls5.tcc and not cls5.lin
+        assert cls5.region() == "TSC+SC+TCC+CC"
+        cls6 = classify(fig6, 30.0)
+        assert cls6.cc and not cls6.sc and not cls6.tcc
+        assert cls6.region() == "CC"
+
+    def test_endpoint_identities(self, fig1, fig5, fig6):
+        for h in (fig1, fig5, fig6):
+            assert lin_equals_tsc_zero(h)
+            assert sc_equals_tsc_infinity(h)
+
+    def test_random_histories_respect_hierarchy(self, rng):
+        from repro.core.timed import min_timed_delta
+        from repro.workloads import (
+            random_history,
+            random_linearizable_history,
+            random_replica_history,
+            random_sc_history,
+        )
+
+        generators = [
+            random_linearizable_history,
+            random_sc_history,
+            random_replica_history,
+            random_history,
+        ]
+        for i in range(24):
+            h = generators[i % 4](rng)
+            thr = min_timed_delta(h)
+            for delta in (0.0, thr, math.inf):
+                cls = classify(h, delta)
+                assert hierarchy_violations(cls) == [], (
+                    f"violation for generator {i % 4}, delta={delta}: {cls}"
+                )
+
+    def test_census_counts(self, fig1, fig5, fig6):
+        from repro.checkers import census
+
+        counts = census([fig1, fig5, fig6], delta=1e6)
+        assert counts["__hierarchy_violations__"] == 0
+        assert sum(v for k, v in counts.items() if not k.startswith("__")) == 3
+
+
+class TestGeneratorsLandWhereExpected:
+    def test_linearizable_generator(self, rng):
+        from repro.checkers import check_lin
+        from repro.workloads import random_linearizable_history
+
+        for _ in range(10):
+            assert check_lin(random_linearizable_history(rng))
+
+    def test_sc_generator(self, rng):
+        from repro.checkers import check_sc
+        from repro.workloads import random_sc_history
+
+        for _ in range(10):
+            assert check_sc(random_sc_history(rng))
+
+    def test_replica_generator_is_cc(self, rng):
+        from repro.checkers import check_cc
+        from repro.workloads import random_replica_history
+
+        for _ in range(10):
+            assert check_cc(random_replica_history(rng))
