@@ -8,7 +8,11 @@ Commands:
 * ``render TRACE.json`` — draw the execution as a paper-style timeline;
 * ``figures`` — verify every worked example of the paper;
 * ``sweep`` — run the Section 6 delta-vs-cost simulation;
-* ``webcache`` — run the Section 4 web-cache policy comparison.
+* ``webcache`` — run the Section 4 web-cache policy comparison;
+* ``serve`` — run a real TCP object server (``repro.net``);
+* ``client`` — run a workload against a server and record a trace;
+* ``net-demo`` — in-process TCP cluster with clock skew and fault
+  injection, checker-verified (docs/NET_PROTOCOL.md).
 """
 
 from __future__ import annotations
@@ -207,6 +211,168 @@ def cmd_webcache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.core.io import dump_history
+    from repro.net.server import NetObjectServer
+    from repro.sim.trace import TraceRecorder
+
+    recorder = TraceRecorder() if args.trace else None
+
+    async def _serve() -> None:
+        server = NetObjectServer(
+            args.host, args.port,
+            propagation=args.propagation, latency=args.latency,
+            recorder=recorder,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or unsupported platform
+        await server.start()
+        print(f"serving on {server.address} "
+              f"(propagation={args.propagation}); SIGINT/SIGTERM to stop")
+        try:
+            await stop.wait()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    if recorder is not None and args.trace:
+        dump_history(recorder.history(validate=False), args.trace)
+        print(f"wrote {len(recorder)} recorded writes to {args.trace}")
+    return 0
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    """Merge per-process traces (server + clients) into one checkable file.
+
+    A write appears both in the server's trace and in its writer's trace
+    (same site, object, value and effective time), so exact duplicates
+    are collapsed; everything else is concatenated and re-sorted.
+    """
+    from repro.core.io import dump_history, load_history
+    from repro.core.history import History
+
+    seen = set()
+    operations = []
+    initial_value = None
+    for path in args.traces:
+        history = load_history(path, validate=False)
+        if initial_value is None:
+            initial_value = history.initial_value
+        for op in history.operations:
+            key = (op.kind, op.site, op.obj, op.value, op.time)
+            if op.is_write and key in seen:
+                continue
+            seen.add(key)
+            operations.append(op)
+    merged = History(operations, initial_value=initial_value or 0,
+                     validate=not args.no_validate)
+    dump_history(merged, args.out)
+    print(f"merged {len(args.traces)} traces "
+          f"({len(operations)} operations) into {args.out}")
+    return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    import asyncio
+    import random
+
+    from repro.core.io import dump_history
+    from repro.net.client import NetCacheClient
+    from repro.sim.trace import TraceRecorder, UniqueValueFactory
+
+    recorder = TraceRecorder()
+    values = UniqueValueFactory()
+    delta = math.inf if args.delta is None else args.delta
+
+    async def _run() -> NetCacheClient:
+        client = NetCacheClient(
+            args.client_id, args.host, args.port,
+            delta=delta, mode=args.mode, recorder=recorder, skew=args.skew,
+        )
+        await client.connect()
+        rng = random.Random(args.seed + args.client_id)
+        objects = args.objects.split(",")
+        try:
+            for _ in range(args.ops):
+                await asyncio.sleep(rng.uniform(0.0, 2 * args.think))
+                obj = rng.choice(objects)
+                if rng.random() < args.write_fraction:
+                    await client.write(obj, values.next_value(args.client_id))
+                else:
+                    await client.read(obj)
+        finally:
+            await client.close()
+        return client
+
+    client = asyncio.run(_run())
+    stats = client.stats
+    print_table(
+        [{
+            "client": args.client_id, "reads": stats.reads,
+            "writes": stats.writes, "hit_ratio": round(stats.hit_ratio, 3),
+            "retries": stats.retries,
+            "clock_offset": round(client.clock.estimator.offset, 6),
+            "epsilon_bound": round(client.epsilon_bound, 6),
+        }],
+        title=f"client {args.client_id} against {args.host}:{args.port} "
+        f"({args.mode}, delta={delta:g})",
+    )
+    if args.trace:
+        # A single client's trace is partial (it reads values written by
+        # other clients), so skip reads-from validation here; `repro
+        # merge` rebuilds the full history from every process's trace.
+        dump_history(recorder.history(validate=False), args.trace)
+        print(f"wrote the recorded trace to {args.trace} "
+              "(combine with the other traces via: repro merge)")
+    return 0
+
+
+def cmd_net_demo(args: argparse.Namespace) -> int:
+    from repro.net.demo import run_push_staleness_demo
+
+    report = run_push_staleness_demo(
+        n_clients=args.clients, delta=args.delta,
+        push_delay=args.push_delay, skew=args.skew,
+    )
+    rows = []
+    for client_id, stats in sorted(report.client_stats.items()):
+        rows.append({
+            "client": client_id, "reads": stats.reads, "writes": stats.writes,
+            "fresh_hits": stats.fresh_hits, "pushes": stats.pushes,
+            "clock_offset": round(report.client_offsets[client_id], 4),
+        })
+    print_table(rows, title=f"net-demo: {args.clients} clients over TCP, "
+                f"delta={args.delta:g}, push delay={args.push_delay:g}, "
+                f"skew ±{args.skew:g}")
+    late = len(report.late_reads)
+    total = len(report.verdicts)
+    print(f"\nclock-sync epsilon: {report.epsilon:.6f}s "
+          f"(clients synchronized to the server's clock)")
+    print(f"recorded trace: SC {'holds' if report.sc.satisfied else 'VIOLATED'}; "
+          f"TSC(delta={args.delta:g}) "
+          f"{'SATISFIED' if report.tsc.satisfied else 'VIOLATED'}; "
+          f"{late}/{total} reads late")
+    if report.tsc.violation:
+        print(f"  {report.tsc.violation}")
+    if args.expect_late:
+        ok = not report.tsc.satisfied and late > 0
+        print("\nexpected late reads:", "observed" if ok else "NOT OBSERVED")
+    else:
+        ok = report.tsc.satisfied
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -261,6 +427,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_web.add_argument("--requests", type=int, default=150)
     p_web.add_argument("--seed", type=int, default=17)
     p_web.set_defaults(func=cmd_webcache)
+
+    p_serve = sub.add_parser("serve", help="run a TCP object server")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7459)
+    p_serve.add_argument("--propagation", choices=["push", "invalidate", "none"],
+                         default="push")
+    p_serve.add_argument("--latency", type=float, default=0.0,
+                         help="artificial per-request processing latency (s)")
+    p_serve.add_argument("--trace", default=None,
+                         help="dump installed writes as a JSON trace on exit")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_client = sub.add_parser("client", help="run a workload against a server")
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=7459)
+    p_client.add_argument("--client-id", type=int, default=0)
+    p_client.add_argument("--delta", type=float, default=None,
+                          help="freshness bound (seconds); default: infinity (SC)")
+    p_client.add_argument("--mode", choices=["pull", "push"], default="pull")
+    p_client.add_argument("--ops", type=int, default=50)
+    p_client.add_argument("--objects", default="x,y,z",
+                          help="comma-separated object names")
+    p_client.add_argument("--write-fraction", type=float, default=0.2)
+    p_client.add_argument("--think", type=float, default=0.01,
+                          help="mean think time between operations (s)")
+    p_client.add_argument("--skew", type=float, default=0.0,
+                          help="injected local clock skew (s), corrected by sync")
+    p_client.add_argument("--seed", type=int, default=7)
+    p_client.add_argument("--trace", default=None,
+                          help="dump this client's recorded trace to a file")
+    p_client.set_defaults(func=cmd_client)
+
+    p_merge = sub.add_parser(
+        "merge", help="merge per-process traces into one checkable file")
+    p_merge.add_argument("out", help="output trace path")
+    p_merge.add_argument("traces", nargs="+", help="input trace files")
+    p_merge.add_argument("--no-validate", action="store_true")
+    p_merge.set_defaults(func=cmd_merge)
+
+    p_demo = sub.add_parser(
+        "net-demo",
+        help="in-process TCP cluster, checker-verified (docs/NET_PROTOCOL.md)")
+    p_demo.add_argument("--clients", type=int, default=3)
+    p_demo.add_argument("--delta", type=float, default=0.3)
+    p_demo.add_argument("--push-delay", type=float, default=0.0,
+                        help="fault injection: delay applied to push frames (s)")
+    p_demo.add_argument("--skew", type=float, default=0.1,
+                        help="injected clock skew magnitude per client (s)")
+    p_demo.add_argument("--expect-late", action="store_true",
+                        help="exit 0 iff the checkers DID flag late reads")
+    p_demo.set_defaults(func=cmd_net_demo)
 
     return parser
 

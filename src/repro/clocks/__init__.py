@@ -25,6 +25,7 @@ from repro.clocks.physical import (
     measured_epsilon,
     pairwise_epsilon,
 )
+from repro.clocks.rebase import RebasedClock
 from repro.clocks.plausible import (
     CombClock,
     CombTimestamp,
@@ -64,6 +65,7 @@ __all__ = [
     "PhysicalClock",
     "REVClock",
     "REVTimestamp",
+    "RebasedClock",
     "ScalarTimestamp",
     "SkewedClock",
     "SumXi",

@@ -1,0 +1,56 @@
+"""A monotonic wall-clock source rebased to 0 at first reading.
+
+The live modules (:mod:`repro.sim.aio` and :mod:`repro.net`) measure time
+with the event loop's monotonic clock, whose absolute value is arbitrary
+(and differs across processes).  Rebasing to 0 at session start keeps
+recorded traces small and human-readable, and gives every live module the
+*same* convention: deltas and latencies are real seconds since the node
+came up.  Cross-process offsets between two rebased clocks are exactly
+what :class:`repro.net.clocksync.ClockSyncEstimator` estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+class RebasedClock:
+    """``source()`` rebased so that the first reading is 0.
+
+    ``source`` defaults to the running event loop's monotonic time; it is
+    resolved lazily so a :class:`RebasedClock` may be constructed before
+    any loop exists.  ``offset`` adds a constant skew to every reading —
+    the live analogue of :class:`repro.clocks.physical.SkewedClock`, used
+    to inject imperfect synchronization into ``repro.net`` experiments.
+    """
+
+    def __init__(
+        self,
+        source: Optional[Callable[[], float]] = None,
+        offset: float = 0.0,
+    ) -> None:
+        self._source = source
+        self._t0: Optional[float] = None
+        self.offset = float(offset)
+
+    def _read(self) -> float:
+        if self._source is None:
+            import asyncio
+
+            self._source = asyncio.get_event_loop().time
+        return self._source()
+
+    def pin(self) -> None:
+        """Fix t0 now (instead of at the first :meth:`now` call)."""
+        if self._t0 is None:
+            self._t0 = self._read()
+
+    def now(self) -> float:
+        """Seconds since the first reading, plus the configured offset."""
+        reading = self._read()
+        if self._t0 is None:
+            self._t0 = reading
+        return reading - self._t0 + self.offset
+
+    def __call__(self) -> float:
+        return self.now()

@@ -1,0 +1,68 @@
+"""A real TCP replica cluster running the lifetime protocol.
+
+Everything else in this repository runs either on the deterministic
+simulator (:mod:`repro.sim`) or on in-process asyncio
+(:mod:`repro.sim.aio`).  This package is the *distributed* counterpart:
+
+* :mod:`repro.net.framing` — length-prefixed JSON frames over TCP;
+* :mod:`repro.net.server` — the authoritative object server
+  (``asyncio.start_server``), speaking the protocol kinds of
+  :mod:`repro.protocol.messages` plus the clock-sync handshake;
+* :mod:`repro.net.client` — the Sections 5.1-5.2 cache client with
+  request retry/backoff and push/invalidate handling;
+* :mod:`repro.net.clocksync` — NTP-style offset/epsilon estimation so
+  every client runs an approximately synchronized clock (Definition 2);
+* :mod:`repro.net.faults` — frame-level delay/drop/duplicate/partition
+  injection;
+* :mod:`repro.net.demo` — in-process localhost clusters whose recorded
+  traces are verified by the offline checkers (the acceptance loop).
+
+See docs/NET_PROTOCOL.md for the wire format and failure semantics.
+"""
+
+from repro.net.client import (
+    NetCacheClient,
+    NetError,
+    ProtocolError,
+    RequestTimeout,
+)
+from repro.net.clocksync import ClockSyncEstimator, SyncedClock, SyncSample
+from repro.net.demo import (
+    ClusterReport,
+    run_push_staleness_demo,
+    run_random_net_workload,
+)
+from repro.net.faults import FaultConfig, FaultInjector
+from repro.net.framing import (
+    FrameConnection,
+    FrameError,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+    read_frame,
+)
+from repro.net.server import NetObjectServer
+
+__all__ = [
+    "ClockSyncEstimator",
+    "ClusterReport",
+    "FaultConfig",
+    "FaultInjector",
+    "FrameConnection",
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "NetCacheClient",
+    "NetError",
+    "NetObjectServer",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RequestTimeout",
+    "SyncSample",
+    "SyncedClock",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "run_push_staleness_demo",
+    "run_random_net_workload",
+]

@@ -1,0 +1,386 @@
+"""The TCP cache client: the lifetime rules of Sections 5.1-5.2, live.
+
+:class:`NetCacheClient` is the transport twin of the simulator's
+``TimedCacheClient`` and of ``repro.sim.aio.AioTimedCacheClient``: the
+same cache structure (versions with lifetimes, ``Context_i``, *old*
+entries) over a real socket and an approximately synchronized clock.
+
+Two freshness modes:
+
+* ``"pull"`` — rule 3 (``Context_i := max(t_i - delta, Context_i)``)
+  enforced against the *synchronized* clock; a cached entry whose ending
+  time fell behind is revalidated before use.  TSC(delta) holds by the
+  protocol's own doing, whatever the network does (losses are repaired
+  by retransmission).
+* ``"push"`` — the client subscribes to server pushes and trusts them
+  for freshness: cached entries are served without a delta check, on the
+  assumption that any newer version reaches it within delta.  That
+  assumption is exactly what fault injection can break — a push delayed
+  beyond delta produces reads the checkers flag as late (the paper's
+  observation that delta-causality fails when "late messages are never
+  delivered"; cf. ``bench_push_vs_pull``).
+
+Requests carry a request id; the client retransmits after a timeout with
+exponential backoff, reusing the id so duplicate replies are recognized
+and dropped.  Fault injection (:mod:`repro.net.faults`) attaches to the
+client's outbound frames *after* the handshake, so connect/sync always
+complete and the workload exercises the faults.
+
+Reads and writes are teed into a :class:`~repro.sim.trace.TraceRecorder`:
+reads at the synchronized-clock reading at completion, writes at the
+server-reported install time, so a merged multi-client trace lives on the
+server's timescale and can be checked offline with
+``epsilon = max(client.epsilon_bound)``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import math
+from typing import Any, Dict, Optional
+
+from repro.net.clocksync import SyncedClock
+from repro.net.faults import FaultInjector
+from repro.net.framing import (
+    BYE,
+    ERROR,
+    HELLO,
+    HELLO_ACK,
+    SYNC,
+    SYNC_ACK,
+    FrameConnection,
+    FrameError,
+)
+from repro.protocol import messages
+from repro.protocol.stats import ClientStats
+from repro.protocol.versions import CacheEntry, PhysicalVersion
+from repro.sim.trace import TraceRecorder
+
+FRESHNESS_MODES = ("pull", "push")
+
+
+class NetError(Exception):
+    """Base class for client-side transport failures."""
+
+
+class RequestTimeout(NetError):
+    """No reply after all retransmissions — server down or partitioned."""
+
+
+class ProtocolError(NetError):
+    """The server answered with an error frame or nonsense."""
+
+
+def _version_from(frame: Dict[str, Any]) -> PhysicalVersion:
+    return PhysicalVersion(
+        str(frame["obj"]), frame["value"],
+        float(frame["alpha"]), float(frame["omega"]),
+        int(frame.get("writer", -1)),
+    )
+
+
+class NetCacheClient:
+    """A timed lifetime cache speaking the framed TCP protocol."""
+
+    def __init__(
+        self,
+        client_id: int,
+        host: str,
+        port: int,
+        *,
+        delta: float = math.inf,
+        mode: str = "pull",
+        recorder: Optional[TraceRecorder] = None,
+        skew: float = 0.0,
+        faults: Optional[FaultInjector] = None,
+        sync_rounds: int = 5,
+        request_timeout: float = 0.5,
+        max_retries: int = 4,
+        backoff: float = 2.0,
+    ) -> None:
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        if mode not in FRESHNESS_MODES:
+            raise ValueError(f"mode must be one of {FRESHNESS_MODES}, got {mode!r}")
+        if request_timeout <= 0:
+            raise ValueError(f"request_timeout must be positive, got {request_timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+        if backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {backoff}")
+        self.client_id = client_id
+        self.host = host
+        self.port = port
+        self.delta = delta
+        self.mode = mode
+        self.recorder = recorder
+        self.faults = faults
+        self.sync_rounds = sync_rounds
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.clock = SyncedClock(skew=skew)
+        self.cache: Dict[str, CacheEntry] = {}
+        self.context = 0.0
+        self.stats = ClientStats()
+        self.conn: Optional[FrameConnection] = None
+        self._requests = itertools.count()
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._recv_task: Optional[asyncio.Task] = None
+
+    # -- connection lifecycle -------------------------------------------------
+
+    async def connect(self) -> "NetCacheClient":
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        self.conn = FrameConnection(reader, writer)
+        await self.conn.send({
+            "kind": HELLO,
+            "client_id": self.client_id,
+            "subscribe": self.mode == "push",
+        })
+        ack = await self.conn.recv()
+        if ack is None or ack.get("kind") != HELLO_ACK:
+            raise ProtocolError(f"bad handshake reply: {ack!r}")
+        await self._sync_clock(self.sync_rounds)
+        # Faults attach only now: the handshake always completes, the
+        # workload runs over the unreliable link.
+        self.conn.faults = self.faults
+        self._recv_task = asyncio.ensure_future(self._recv_loop())
+        return self
+
+    async def _sync_clock(self, rounds: int) -> None:
+        for _ in range(rounds):
+            t0 = self.clock.local()
+            await self.conn.send({"kind": SYNC, "t0": t0})
+            reply = await self.conn.recv()
+            t3 = self.clock.local()
+            if reply is None:
+                raise ConnectionError("server closed during clock sync")
+            if reply.get("kind") != SYNC_ACK:
+                raise ProtocolError(f"bad sync reply: {reply!r}")
+            self.clock.estimator.add_sample(reply["t0"], reply["t1"], reply["t2"], t3)
+
+    async def resync(self, rounds: Optional[int] = None) -> None:
+        """Run additional sync exchanges over the live connection."""
+        for _ in range(rounds if rounds is not None else self.sync_rounds):
+            reply = await self._request({"kind": SYNC, "t0": self.clock.local()})
+            t3 = self.clock.local()
+            self.clock.estimator.add_sample(reply["t0"], reply["t1"], reply["t2"], t3)
+
+    async def close(self) -> None:
+        if self.conn is not None:
+            try:
+                await self.conn.send({"kind": BYE})
+            except (ConnectionError, FrameError):
+                pass
+        if self._recv_task is not None:
+            self._recv_task.cancel()
+            try:
+                await self._recv_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._recv_task = None
+        if self.conn is not None:
+            await self.conn.close()
+            self.conn = None
+
+    async def __aenter__(self) -> "NetCacheClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- clocks ---------------------------------------------------------------
+
+    def now(self) -> float:
+        """The approximately synchronized clock ``t_i`` (server timescale)."""
+        return self.clock.now()
+
+    @property
+    def epsilon_bound(self) -> float:
+        """This client's contribution to Definition 2's ``epsilon``."""
+        return self.clock.epsilon_bound
+
+    # -- the lifetime rules ---------------------------------------------------
+
+    def _advance_context(self, candidate: float) -> None:
+        """Rules 1-3's common clause: raise ``Context_i``, demote entries
+        whose known lifetime ended before it."""
+        if candidate <= self.context:
+            return
+        self.context = candidate
+        for entry in self.cache.values():
+            if entry.version.omega < self.context and not entry.old:
+                entry.mark_old()
+                self.stats.marked_old += 1
+
+    def _usable(self, entry: CacheEntry) -> bool:
+        return not entry.old and entry.version.omega >= self.context
+
+    def _install(self, version: PhysicalVersion) -> None:
+        """Rule 1: Context_i := max(alpha, Context_i); sweep; store."""
+        if version.omega < self.context:
+            # Sound to accept: writes are synchronous (see the design
+            # notes in repro.protocol.cache_client).
+            self.stats.fetch_check_failures += 1
+            version.advance_omega(self.context)
+        self._advance_context(version.alpha)
+        entry = self.cache.get(version.obj)
+        if entry is None:
+            self.cache[version.obj] = CacheEntry(version, fetched_at=self.now())
+        else:
+            entry.refresh(version, self.now())
+
+    async def read(self, obj: str) -> Any:
+        """Read ``obj`` under the mode's freshness rule."""
+        self.stats.reads += 1
+        if self.mode == "pull" and not math.isinf(self.delta):
+            # Rule 3, against the synchronized clock.
+            self._advance_context(self.now() - self.delta)
+        entry = self.cache.get(obj)
+        if entry is not None and self._usable(entry):
+            entry.hits += 1
+            self.stats.fresh_hits += 1
+            self.stats.read_latencies.append(0.0)
+            self._record_read(obj, entry.version.value, start=self.now())
+            return entry.version.value
+        started = self.now()
+        if entry is not None:
+            self.stats.validations += 1
+            reply = await self._request({
+                "kind": messages.VALIDATE, "obj": obj, "alpha": entry.version.alpha,
+            })
+            if reply.get("kind") == messages.STILL_VALID:
+                entry.version.advance_omega(float(reply["omega"]))
+                entry.old = False
+                self.stats.revalidated += 1
+                value = entry.version.value
+            elif reply.get("kind") == messages.VERSION:
+                version = _version_from(reply)
+                self._install(version)
+                self.stats.refreshed += 1
+                value = version.value
+            else:
+                raise ProtocolError(f"bad validate reply: {reply!r}")
+        else:
+            self.stats.fetches += 1
+            reply = await self._request({"kind": messages.FETCH, "obj": obj})
+            if reply.get("kind") != messages.VERSION:
+                raise ProtocolError(f"bad fetch reply: {reply!r}")
+            version = _version_from(reply)
+            self._install(version)
+            value = version.value
+        self.stats.read_latencies.append(self.now() - started)
+        self._record_read(obj, value, start=started)
+        return value
+
+    async def write(self, obj: str, value: Any) -> float:
+        """Write through; returns the server-assigned effective time."""
+        self.stats.writes += 1
+        started = self.now()
+        reply = await self._request({"kind": messages.WRITE, "obj": obj, "value": value})
+        if reply.get("kind") != messages.WRITE_ACK:
+            raise ProtocolError(f"bad write reply: {reply!r}")
+        alpha = float(reply["alpha"])
+        version = PhysicalVersion(obj, value, alpha, alpha, self.client_id)
+        # Rule 2: Context_i := the write's install time.
+        self._advance_context(alpha)
+        entry = self.cache.get(obj)
+        if entry is None:
+            self.cache[obj] = CacheEntry(version, fetched_at=self.now())
+        else:
+            entry.refresh(version, self.now())
+        if self.recorder is not None:
+            self.recorder.record_write(
+                self.client_id, obj, value, alpha, start=started, end=self.now()
+            )
+        return alpha
+
+    # -- server-initiated traffic ----------------------------------------------
+
+    def _on_push(self, frame: Dict[str, Any]) -> None:
+        version = _version_from(frame)
+        self.stats.pushes += 1
+        entry = self.cache.get(version.obj)
+        if entry is None or version.alpha > entry.version.alpha:
+            self._install(version)
+
+    def _on_invalidate(self, frame: Dict[str, Any]) -> None:
+        self.stats.push_invalidations += 1
+        entry = self.cache.get(str(frame["obj"]))
+        if entry is not None and entry.version.alpha < float(frame["alpha"]):
+            if not entry.old:
+                entry.mark_old()
+                self.stats.marked_old += 1
+
+    # -- transport --------------------------------------------------------------
+
+    async def _request(
+        self, message: Dict[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Send a request; retransmit with exponential backoff until a
+        reply with the matching id arrives (duplicates are ignored)."""
+        if self.conn is None:
+            raise NetError("client is not connected")
+        req = next(self._requests)
+        message = dict(message, req=req)
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        self._pending[req] = future
+        wait = timeout if timeout is not None else self.request_timeout
+        try:
+            for attempt in range(self.max_retries + 1):
+                await self.conn.send(message)
+                try:
+                    reply = await asyncio.wait_for(asyncio.shield(future), wait)
+                except asyncio.TimeoutError:
+                    if attempt == self.max_retries:
+                        raise RequestTimeout(
+                            f"no reply to {message['kind']} #{req} after "
+                            f"{self.max_retries + 1} attempts"
+                        ) from None
+                    self.stats.retries += 1
+                    wait *= self.backoff
+                    continue
+                if reply.get("kind") == ERROR:
+                    raise ProtocolError(str(reply.get("error")))
+                return reply
+            raise RequestTimeout(f"no reply to {message['kind']} #{req}")
+        finally:
+            self._pending.pop(req, None)
+            if not future.done():
+                future.cancel()
+
+    async def _recv_loop(self) -> None:
+        try:
+            while True:
+                frame = await self.conn.recv()
+                if frame is None:
+                    break
+                req = frame.get("req")
+                if req is not None:
+                    future = self._pending.get(req)
+                    if future is not None and not future.done():
+                        future.set_result(frame)
+                    continue  # unknown id: duplicate of an answered request
+                kind = frame.get("kind")
+                if kind == messages.PUSH:
+                    self._on_push(frame)
+                elif kind == messages.INVALIDATE:
+                    self._on_invalidate(frame)
+                # anything else without an id is noise; ignore it
+        except (FrameError, ConnectionError):
+            pass
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(ConnectionError("connection lost"))
+
+    # -- tracing -----------------------------------------------------------------
+
+    def _record_read(self, obj: str, value: Any, start: float) -> None:
+        if self.recorder is not None:
+            now = self.now()
+            self.recorder.record_read(
+                self.client_id, obj, value, now, start=start, end=now
+            )

@@ -1,0 +1,294 @@
+"""The authoritative object server, over real TCP.
+
+``asyncio.start_server`` plus the frame codec of
+:mod:`repro.net.framing`, speaking the lifetime protocol's message kinds
+(:mod:`repro.protocol.messages`):
+
+* ``fetch``    -> ``version``        (cache miss: ship the full object);
+* ``validate`` -> ``still-valid`` | ``version``  (if-modified-since by
+  start-time comparison — Section 5.2's "avoids the unnecessary sending
+  of large objects");
+* ``write``    -> ``write-ack``      (synchronous install; the install
+  instant on the *server's* clock is the write's effective time);
+* ``push`` / ``invalidate``          (server-initiated propagation to
+  subscribed clients, per the ``propagation`` policy).
+
+Plus the transport handshake: ``hello``/``hello-ack`` and the NTP-style
+``sync``/``sync-ack`` exchange of :mod:`repro.net.clocksync`.
+
+The server's clock is the cluster's time reference: install times
+(``alpha``) and validation times (``omega``) are stamped with it, and
+clients synchronize to it, so a merged trace lives on one timescale with
+the clients' residual sync error as Definition 2's ``epsilon``.
+
+This is the single-server configuration of the paper's Section 5 (one
+authoritative server per object; here one server for all objects).  The
+``ObjectDirectory`` abstraction in :mod:`repro.protocol.server` is the
+sharding seam a multi-server deployment will plug into.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, Optional, Set
+
+from repro.clocks.rebase import RebasedClock
+from repro.net.faults import FaultInjector
+from repro.net.framing import (
+    BYE,
+    ERROR,
+    HELLO,
+    HELLO_ACK,
+    PROTOCOL_VERSION,
+    SYNC,
+    SYNC_ACK,
+    FrameConnection,
+    FrameError,
+)
+from repro.protocol import messages
+from repro.protocol.versions import PhysicalVersion
+from repro.sim.trace import TraceRecorder
+
+#: Propagation policies: what the server does after installing a write.
+PROPAGATION_POLICIES = ("push", "invalidate", "none")
+
+
+def version_payload(version: PhysicalVersion) -> Dict[str, Any]:
+    """The JSON-scalar fields of a version frame."""
+    return {
+        "obj": version.obj,
+        "value": version.value,
+        "alpha": version.alpha,
+        "omega": version.omega,
+        "writer": version.writer,
+    }
+
+
+class NetObjectServer:
+    """One authoritative store serving framed TCP clients.
+
+    ``fault_factory`` builds a per-connection
+    :class:`~repro.net.faults.FaultInjector` applied to the server's
+    *outbound* frames — e.g. delaying only ``push`` frames models slow
+    propagation while request/reply traffic stays healthy.
+
+    ``recorder``, when given, tees installed writes into a
+    :class:`~repro.sim.trace.TraceRecorder` (server-side ground truth).
+    Leave it ``None`` when the clients record their own writes, or the
+    merged trace would contain duplicates.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        initial_value: Any = 0,
+        propagation: str = "push",
+        latency: float = 0.0,
+        recorder: Optional[TraceRecorder] = None,
+        clock: Optional[Callable[[], float]] = None,
+        fault_factory: Optional[Callable[[], FaultInjector]] = None,
+    ) -> None:
+        if propagation not in PROPAGATION_POLICIES:
+            raise ValueError(
+                f"propagation must be one of {PROPAGATION_POLICIES}, "
+                f"got {propagation!r}"
+            )
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        self.host = host
+        self.port = port
+        self.initial_value = initial_value
+        self.propagation = propagation
+        self.latency = latency
+        self.recorder = recorder
+        self.clock = clock if clock is not None else RebasedClock()
+        self.fault_factory = fault_factory
+        self.store: Dict[str, PhysicalVersion] = {}
+        self._lock = asyncio.Lock()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: Set[FrameConnection] = set()
+        self._subscribers: Dict[FrameConnection, int] = {}
+        self.requests = 0
+        self.connections_accepted = 0
+        self.pushes_sent = 0
+        self.invalidations_sent = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "NetObjectServer":
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.clock()  # pin the timescale's zero to server start
+        return self
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._connections):
+            await conn.close()
+        self._connections.clear()
+        self._subscribers.clear()
+
+    async def __aenter__(self) -> "NetObjectServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        faults = self.fault_factory() if self.fault_factory is not None else None
+        conn = FrameConnection(reader, writer, faults=faults)
+        self._connections.add(conn)
+        self.connections_accepted += 1
+        try:
+            hello = await conn.recv()
+            if hello is None or hello.get("kind") != HELLO:
+                await conn.send({"kind": ERROR, "error": "expected hello"})
+                return
+            client_id = int(hello.get("client_id", -1))
+            await conn.send({
+                "kind": HELLO_ACK,
+                "protocol": PROTOCOL_VERSION,
+                "server_time": self.clock(),
+                "propagation": self.propagation,
+            })
+            if hello.get("subscribe"):
+                self._subscribers[conn] = client_id
+            while True:
+                frame = await conn.recv()
+                if frame is None or frame.get("kind") == BYE:
+                    break
+                await self._dispatch(conn, client_id, frame)
+        except (FrameError, ConnectionError):
+            pass  # corrupt or vanished peer: drop the connection
+        finally:
+            self._subscribers.pop(conn, None)
+            self._connections.discard(conn)
+            await conn.close()
+
+    async def _dispatch(
+        self, conn: FrameConnection, client_id: int, frame: Dict[str, Any]
+    ) -> None:
+        kind = frame.get("kind")
+        if kind == SYNC:
+            # No artificial latency here: the sync exchange measures the
+            # genuine transport, and (t2 - t1) excludes server time anyway.
+            t1 = self.clock()
+            await conn.send({
+                "kind": SYNC_ACK, "t0": frame.get("t0"), "t1": t1, "t2": self.clock(),
+            })
+            return
+        if self.latency:
+            await asyncio.sleep(self.latency)
+        if kind == messages.FETCH:
+            await self._on_fetch(conn, frame)
+        elif kind == messages.VALIDATE:
+            await self._on_validate(conn, frame)
+        elif kind == messages.WRITE:
+            await self._on_write(conn, client_id, frame)
+        else:
+            await conn.send({
+                "kind": ERROR,
+                "error": f"unknown message kind {kind!r}",
+                "req": frame.get("req"),
+            })
+
+    # -- the lifetime protocol, server side ------------------------------------
+
+    def _current(self, obj: str) -> PhysicalVersion:
+        """The stored version, its ending time advanced to "now" (the
+        server has just observed it to still be current)."""
+        if obj not in self.store:
+            self.store[obj] = PhysicalVersion(
+                obj, self.initial_value, alpha=0.0, omega=0.0, writer=-1
+            )
+        version = self.store[obj]
+        version.advance_omega(self.clock())
+        return version
+
+    async def _on_fetch(self, conn: FrameConnection, frame: Dict[str, Any]) -> None:
+        async with self._lock:
+            self.requests += 1
+            version = self._current(str(frame["obj"])).copy()
+        await conn.send({
+            "kind": messages.VERSION, "req": frame.get("req"),
+            **version_payload(version),
+        })
+
+    async def _on_validate(self, conn: FrameConnection, frame: Dict[str, Any]) -> None:
+        obj = str(frame["obj"])
+        async with self._lock:
+            self.requests += 1
+            version = self._current(obj)
+            if version.alpha == frame.get("alpha"):
+                reply = {
+                    "kind": messages.STILL_VALID, "req": frame.get("req"),
+                    "obj": obj, "omega": version.omega,
+                }
+            else:
+                reply = {
+                    "kind": messages.VERSION, "req": frame.get("req"),
+                    **version_payload(version.copy()),
+                }
+        await conn.send(reply)
+
+    async def _on_write(
+        self, conn: FrameConnection, client_id: int, frame: Dict[str, Any]
+    ) -> None:
+        obj = str(frame["obj"])
+        value = frame["value"]
+        async with self._lock:
+            self.requests += 1
+            install_time = self.clock()
+            version = PhysicalVersion(obj, value, install_time, install_time, client_id)
+            current = self.store.get(obj)
+            if current is None or install_time > current.alpha:
+                self.store[obj] = version.copy()
+        await conn.send({
+            "kind": messages.WRITE_ACK, "req": frame.get("req"),
+            "obj": obj, "alpha": install_time,
+        })
+        if self.recorder is not None:
+            self.recorder.record_write(client_id, obj, value, install_time)
+        await self._propagate(conn, version)
+
+    async def _propagate(
+        self, writer_conn: FrameConnection, version: PhysicalVersion
+    ) -> None:
+        """Server-initiated propagation to every other subscriber."""
+        if self.propagation == "none":
+            return
+        if self.propagation == "push":
+            frame = {"kind": messages.PUSH, **version_payload(version)}
+        else:
+            frame = {
+                "kind": messages.INVALIDATE,
+                "obj": version.obj, "alpha": version.alpha,
+            }
+        for conn in list(self._subscribers):
+            if conn is writer_conn:
+                continue
+            try:
+                await conn.send(frame)
+            except ConnectionError:
+                continue
+            if self.propagation == "push":
+                self.pushes_sent += 1
+            else:
+                self.invalidations_sent += 1

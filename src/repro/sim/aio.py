@@ -20,6 +20,7 @@ import asyncio
 import math
 from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
 
+from repro.clocks.rebase import RebasedClock
 from repro.core.history import History
 from repro.protocol.stats import ClientStats
 from repro.protocol.versions import CacheEntry, PhysicalVersion
@@ -193,7 +194,7 @@ class AioSession:
         self.server = AioObjectServer(latency=latency, initial_value=initial_value)
         self.recorder = TraceRecorder(initial_value=initial_value)
         self.values = UniqueValueFactory()
-        self._t0: Optional[float] = None
+        self._clock = RebasedClock()
         self.clients = [
             AioTimedCacheClient(
                 i, self.server, self.now, delta=delta, recorder=self.recorder
@@ -203,10 +204,7 @@ class AioSession:
         self.server.bind_clock(self.now)
 
     def now(self) -> float:
-        loop = asyncio.get_event_loop()
-        if self._t0 is None:
-            self._t0 = loop.time()
-        return loop.time() - self._t0
+        return self._clock.now()
 
     async def run(
         self,

@@ -1,12 +1,44 @@
-"""Shared fixtures: the paper's example histories and small helpers."""
+"""Shared fixtures: the paper's example histories and small helpers.
+
+Tests marked ``net`` open real sockets; a hung socket must fail the test,
+not wedge the whole run, so ``_net_timeout`` arms a SIGALRM-based hard
+per-test timeout for them (no third-party timeout plugin required).
+Override the default with ``@pytest.mark.net(timeout=N)``.
+"""
 
 from __future__ import annotations
 
 import random
+import signal
 
 import pytest
 
 from repro.paperdata import figure1, figure5, figure6, figures2_3
+
+NET_TEST_TIMEOUT = 60.0  # seconds; generous — localhost runs take < 5s
+
+
+@pytest.fixture(autouse=True)
+def _net_timeout(request):
+    marker = request.node.get_closest_marker("net")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = float(marker.kwargs.get("timeout", NET_TEST_TIMEOUT))
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"net test exceeded its hard timeout of {seconds:g}s "
+            "(hung socket or stuck event loop)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -1,0 +1,106 @@
+"""Clock rebasing and the NTP-style offset/epsilon estimator."""
+
+import math
+
+import pytest
+
+from repro.clocks import RebasedClock
+from repro.net.clocksync import ClockSyncEstimator, SyncedClock
+
+
+class TestRebasedClock:
+    def test_first_reading_is_zero(self):
+        ticks = iter([100.0, 100.5, 103.25])
+        clock = RebasedClock(source=lambda: next(ticks))
+        assert clock.now() == 0.0
+        assert clock.now() == 0.5
+        assert clock() == 3.25
+
+    def test_pin_fixes_t0_early(self):
+        ticks = iter([100.0, 107.0])
+        clock = RebasedClock(source=lambda: next(ticks))
+        clock.pin()
+        assert clock.now() == 7.0
+
+    def test_offset_injects_constant_skew(self):
+        ticks = iter([50.0, 51.0])
+        clock = RebasedClock(source=lambda: next(ticks), offset=0.2)
+        assert clock.now() == pytest.approx(0.2)
+        assert clock.now() == pytest.approx(1.2)
+
+    def test_aio_session_uses_shared_helper(self):
+        # The satellite refactor: sim.aio and repro.net agree on rebasing.
+        from repro.sim.aio import AioSession
+
+        session = AioSession(n_clients=1)
+        assert isinstance(session._clock, RebasedClock)
+
+
+def exchange(true_offset, up, down, t0=10.0, server_work=0.001):
+    """Synthesize one NTP exchange: asymmetric path delays allowed.
+
+    ``true_offset`` is server clock minus client clock; ``up``/``down``
+    are the one-way delays.
+    """
+    t1 = t0 + up + true_offset
+    t2 = t1 + server_work
+    t3 = (t2 - true_offset) + down
+    return t0, t1, t2, t3
+
+
+class TestClockSyncEstimator:
+    def test_unsynchronized_defaults(self):
+        est = ClockSyncEstimator()
+        assert not est.synchronized
+        assert est.offset == 0.0
+        assert est.error_bound == math.inf
+        assert est.epsilon_bound == math.inf
+
+    def test_symmetric_exchange_recovers_offset_exactly(self):
+        est = ClockSyncEstimator()
+        est.add_sample(*exchange(true_offset=2.5, up=0.01, down=0.01))
+        assert est.offset == pytest.approx(2.5)
+        assert est.error_bound == pytest.approx(0.01)
+        assert est.epsilon_bound == pytest.approx(0.02)
+
+    def test_asymmetry_error_stays_within_bound(self):
+        est = ClockSyncEstimator()
+        est.add_sample(*exchange(true_offset=-1.0, up=0.03, down=0.001))
+        assert abs(est.offset - (-1.0)) <= est.error_bound + 1e-12
+        assert est.offset != pytest.approx(-1.0)  # asymmetry does bias it
+
+    def test_clock_filter_keeps_min_rtt_sample(self):
+        est = ClockSyncEstimator()
+        est.add_sample(*exchange(true_offset=1.0, up=0.05, down=0.002))
+        noisy_offset = est.offset
+        est.add_sample(*exchange(true_offset=1.0, up=0.001, down=0.001))
+        est.add_sample(*exchange(true_offset=1.0, up=0.04, down=0.01))
+        assert est.offset == pytest.approx(1.0, abs=1e-9)
+        assert abs(est.offset - 1.0) < abs(noisy_offset - 1.0)
+        assert est.error_bound == pytest.approx(0.001)
+        assert len(est.samples) == 3
+
+    def test_negative_rtt_rejected(self):
+        est = ClockSyncEstimator()
+        with pytest.raises(ValueError):
+            est.add_sample(0.0, 0.0, 1.0, 0.5)  # server work exceeds rtt
+        with pytest.raises(ValueError):
+            est.add_sample(1.0, 0.0, 0.0, 0.5)  # reply before request
+
+
+class TestSyncedClock:
+    def test_now_applies_estimated_offset(self):
+        ticks = iter([0.0, 1.0, 2.0])
+        clock = SyncedClock(local=lambda: next(ticks))
+        assert clock.now() == 0.0  # unsynced: offset 0
+        clock.estimator.add_sample(*exchange(true_offset=3.0, up=0.01, down=0.01))
+        assert clock.now() == pytest.approx(4.0)
+        assert clock() == pytest.approx(5.0)
+        assert clock.epsilon_bound == pytest.approx(0.02)
+
+    def test_skew_flows_into_local_reading(self):
+        ticks = iter([10.0, 10.0])
+        clock = SyncedClock(skew=0.25)
+        clock._local = RebasedClock(source=lambda: next(ticks), offset=0.25)
+        assert clock.local() == pytest.approx(0.25)
+        assert clock.skew == 0.25

@@ -1,0 +1,89 @@
+"""Unit tests for the length-prefixed JSON frame codec."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.net.framing import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    read_frame,
+)
+
+
+def read_all(*chunks: bytes):
+    """Feed the chunks to a StreamReader at EOF and decode every frame."""
+
+    async def _drain():
+        reader = asyncio.StreamReader()
+        for chunk in chunks:
+            reader.feed_data(chunk)
+        reader.feed_eof()
+        frames = []
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    return asyncio.run(_drain())
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        message = {"kind": "write", "obj": "x", "value": "s0.1", "req": 3}
+        assert decode_frame(encode_frame(message)[4:]) == message
+
+    def test_length_prefix_is_big_endian_payload_length(self):
+        data = encode_frame({"a": 1})
+        (length,) = struct.unpack(">I", data[:4])
+        assert length == len(data) - 4
+
+    def test_unicode_values_survive(self):
+        message = {"kind": "write", "value": "héllo ⏱"}
+        assert decode_frame(encode_frame(message)[4:]) == message
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(FrameError):
+            decode_frame(b"[1, 2]")
+
+    def test_binary_garbage_rejected(self):
+        with pytest.raises(FrameError):
+            decode_frame(b"\xff\xfe\x00")
+
+    def test_oversized_encode_rejected(self):
+        with pytest.raises(FrameError):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+
+class TestStreamReading:
+    def test_reads_consecutive_frames(self):
+        frames = [{"kind": "fetch", "req": i} for i in range(3)]
+        assert read_all(b"".join(encode_frame(f) for f in frames)) == frames
+
+    def test_split_delivery_reassembles(self):
+        data = encode_frame({"kind": "sync", "t0": 1.25})
+        # Byte-at-a-time delivery: framing must reassemble exactly.
+        assert read_all(*[data[i:i + 1] for i in range(len(data))]) == [
+            {"kind": "sync", "t0": 1.25}
+        ]
+
+    def test_clean_eof_returns_none(self):
+        assert read_all(b"") == []
+
+    def test_eof_mid_header_raises(self):
+        with pytest.raises(FrameError, match="mid-header"):
+            read_all(b"\x00\x00")
+
+    def test_eof_mid_payload_raises(self):
+        data = encode_frame({"kind": "fetch"})
+        with pytest.raises(FrameError, match="mid-frame"):
+            read_all(data[:-2])
+
+    def test_oversized_announcement_raises_before_buffering(self):
+        header = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(FrameError, match="exceeds"):
+            read_all(header)
