@@ -45,6 +45,7 @@ def run_census(histories):
         for delta in (min_timed_delta(history), 0.0):
             counts = census([history], delta)
             violations += counts.pop("__hierarchy_violations__")
+            counts.pop("__budget_unknown__", None)
             for region, n in counts.items():
                 counts_total[region] = counts_total.get(region, 0) + n
     return counts_total, violations

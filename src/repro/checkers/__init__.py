@@ -40,10 +40,15 @@ from repro.checkers.result import CheckResult, SearchBudgetExceeded
 from repro.checkers.sc import check_sc
 from repro.checkers.search import (
     DEFAULT_BUDGET,
+    PRUNE_REASONS,
     SearchStats,
     find_serialization,
     find_site_ordered_serialization,
     restrict_edges,
+)
+from repro.checkers.search_reference import (
+    find_serialization_recursive,
+    find_site_ordered_serialization_recursive,
 )
 from repro.checkers.sessions import (
     SessionViolation,
@@ -75,6 +80,7 @@ __all__ = [
     "DEFAULT_BUDGET",
     "MonitorStats",
     "OnlineTimedMonitor",
+    "PRUNE_REASONS",
     "ReadVerdict",
     "ReorderingMonitor",
     "SearchBudgetExceeded",
@@ -101,7 +107,9 @@ __all__ = [
     "classify",
     "delta_spectrum",
     "find_serialization",
+    "find_serialization_recursive",
     "find_site_ordered_serialization",
+    "find_site_ordered_serialization_recursive",
     "hierarchy_violations",
     "lin_equals_tsc_zero",
     "restrict_edges",

@@ -66,6 +66,7 @@ def check_cc(
                     "causal order"
                 ),
                 states_explored=stats.states,
+                stats=stats,
             )
         site_witnesses[site] = witness
     return CheckResult(
@@ -73,4 +74,5 @@ def check_cc(
         True,
         site_witnesses=site_witnesses,
         states_explored=stats.states,
+        stats=stats,
     )

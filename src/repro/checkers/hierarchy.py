@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.checkers.cc import check_cc
 from repro.checkers.lin import check_lin
+from repro.checkers.result import CheckResult, SearchBudgetExceeded
 from repro.checkers.sc import check_sc
 from repro.checkers.search import DEFAULT_BUDGET
 from repro.checkers.tcc import check_tcc
@@ -29,19 +30,30 @@ from repro.core.history import History
 
 @dataclass(frozen=True)
 class Classification:
-    """Verdicts of the five criteria on one execution for one delta."""
+    """Verdicts of the five criteria on one execution for one delta.
 
-    lin: bool
-    sc: bool
-    cc: bool
-    tsc: bool
-    tcc: bool
+    A verdict of ``None`` means the check exhausted its search budget —
+    unknown, not violated.  :meth:`unknown` tells whether any verdict is
+    undecided.
+    """
+
+    lin: Optional[bool]
+    sc: Optional[bool]
+    cc: Optional[bool]
+    tsc: Optional[bool]
+    tcc: Optional[bool]
     delta: float
     epsilon: float = 0.0
+
+    def unknown(self) -> bool:
+        return any(
+            v is None for v in (self.lin, self.sc, self.cc, self.tsc, self.tcc)
+        )
 
     def region(self) -> str:
         """A short label for the Venn region of Figure 4a this falls in."""
         tags = []
+        undecided = []
         for name, ok in (
             ("LIN", self.lin),
             ("TSC", self.tsc),
@@ -51,7 +63,20 @@ class Classification:
         ):
             if ok:
                 tags.append(name)
-        return "+".join(tags) if tags else "none"
+            elif ok is None:
+                undecided.append(name)
+        label = "+".join(tags) if tags else "none"
+        if undecided:
+            label += " (unknown: " + "+".join(undecided) + ")"
+        return label
+
+
+def _verdict(check: Callable[[], CheckResult]) -> Optional[bool]:
+    """Run one check; ``None`` when its search budget ran out."""
+    try:
+        return check().satisfied
+    except SearchBudgetExceeded:
+        return None
 
 
 def classify(
@@ -59,14 +84,27 @@ def classify(
     delta: float,
     epsilon: float = 0.0,
     budget: int = DEFAULT_BUDGET,
+    method: str = "constraint",
 ) -> Classification:
-    """Evaluate LIN, SC, CC, TSC(delta), TCC(delta) on one execution."""
+    """Evaluate LIN, SC, CC, TSC(delta), TCC(delta) on one execution.
+
+    A criterion whose search exhausts ``budget`` is recorded as ``None``
+    (unknown) instead of raising.
+    """
     return Classification(
-        lin=check_lin(history, budget=budget).satisfied,
-        sc=check_sc(history, budget=budget).satisfied,
-        cc=check_cc(history, budget=budget).satisfied,
-        tsc=check_tsc(history, delta, epsilon, budget=budget).satisfied,
-        tcc=check_tcc(history, delta, epsilon, budget=budget).satisfied,
+        lin=_verdict(lambda: check_lin(history, budget=budget)),
+        sc=_verdict(lambda: check_sc(history, budget=budget, method=method)),
+        cc=_verdict(lambda: check_cc(history, budget=budget, method=method)),
+        tsc=_verdict(
+            lambda: check_tsc(
+                history, delta, epsilon, budget=budget, method=method
+            )
+        ),
+        tcc=_verdict(
+            lambda: check_tcc(
+                history, delta, epsilon, budget=budget, method=method
+            )
+        ),
         delta=delta,
         epsilon=epsilon,
     )
@@ -96,7 +134,7 @@ def hierarchy_violations(classification: Classification) -> List[str]:
     times while TSC weakens, so LIN subset-of TSC still holds — a larger
     epsilon only enlarges TSC.
     """
-    verdicts: Dict[str, bool] = {
+    verdicts: Dict[str, Optional[bool]] = {
         "lin": classification.lin,
         "sc": classification.sc,
         "cc": classification.cc,
@@ -105,10 +143,13 @@ def hierarchy_violations(classification: Classification) -> List[str]:
     }
     out: List[str] = []
     for small, big in CONTAINMENTS:
+        if verdicts[small] is None or verdicts[big] is None:
+            continue  # undecided verdicts cannot witness a violation
         if verdicts[small] and not verdicts[big]:
             out.append(f"{small.upper()} holds but {big.upper()} does not")
-    if (verdicts["tcc"] and verdicts["sc"]) != verdicts["tsc"]:
-        out.append("TSC != (TCC and SC)")
+    if all(verdicts[name] is not None for name in ("tcc", "sc", "tsc")):
+        if (verdicts["tcc"] and verdicts["sc"]) != verdicts["tsc"]:
+            out.append("TSC != (TCC and SC)")
     return out
 
 
@@ -117,17 +158,24 @@ def census(
     delta: float,
     epsilon: float = 0.0,
     budget: int = DEFAULT_BUDGET,
+    method: str = "constraint",
 ) -> Dict[str, int]:
     """Count how many executions land in each Figure 4a region, plus any
-    hierarchy violations (expected 0) — the bench prints this table."""
+    hierarchy violations (expected 0) — the bench prints this table.
+    Executions with a budget-exhausted (unknown) verdict are counted under
+    ``__budget_unknown__``."""
     counts: Dict[str, int] = {}
     violations = 0
+    unknowns = 0
     for history in histories:
-        cls = classify(history, delta, epsilon, budget)
+        cls = classify(history, delta, epsilon, budget, method=method)
         counts[cls.region()] = counts.get(cls.region(), 0) + 1
+        if cls.unknown():
+            unknowns += 1
         if hierarchy_violations(cls):
             violations += 1
     counts["__hierarchy_violations__"] = violations
+    counts["__budget_unknown__"] = unknowns
     return counts
 
 

@@ -44,7 +44,11 @@ def check_lin(history: History, budget: int = DEFAULT_BUDGET) -> CheckResult:
         bad = first_legality_violation(sequence, history.initial_value)
         if bad is None:
             return CheckResult(
-                "LIN", True, witness=sequence, states_explored=stats.states
+                "LIN",
+                True,
+                witness=sequence,
+                states_explored=stats.states,
+                stats=stats,
             )
         return CheckResult(
             "LIN",
@@ -54,17 +58,21 @@ def check_lin(history: History, budget: int = DEFAULT_BUDGET) -> CheckResult:
                 "recent value in real-time order"
             ),
             states_explored=stats.states,
+            stats=stats,
         )
 
     witness = _search_with_ties(groups, history, stats)
     if witness is not None:
-        return CheckResult("LIN", True, witness=witness, states_explored=stats.states)
+        return CheckResult(
+            "LIN", True, witness=witness, states_explored=stats.states, stats=stats
+        )
     return CheckResult(
         "LIN",
         False,
         violation="no legal serialization respects effective-time order "
         "(including tie permutations)",
         states_explored=stats.states,
+        stats=stats,
     )
 
 
@@ -128,7 +136,11 @@ def check_interval_linearizability(
     )
     if witness is not None:
         return CheckResult(
-            "LIN-interval", True, witness=witness, states_explored=stats.states
+            "LIN-interval",
+            True,
+            witness=witness,
+            states_explored=stats.states,
+            stats=stats,
         )
     return CheckResult(
         "LIN-interval",
@@ -136,4 +148,5 @@ def check_interval_linearizability(
         violation="no legal serialization respects the definitely-precedes "
         "order of the execution intervals",
         states_explored=stats.states,
+        stats=stats,
     )

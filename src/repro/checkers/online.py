@@ -19,6 +19,7 @@ already seen.  The monitor also tracks the running timedness threshold
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -163,7 +164,9 @@ class ReorderingMonitor:
             raise ValueError(f"horizon must be non-negative, got {horizon}")
         self.monitor = monitor
         self.horizon = horizon
-        self._buffer: List[Operation] = []
+        # Min-heap on (time, uid): O(log n) per push/release instead of
+        # the previous sort + pop(0), which was O(n^2) per stream.
+        self._buffer: List[Tuple[float, int, Operation]] = []
         self.verdicts: List[ReadVerdict] = []
 
     def push(self, op: Operation, now: float) -> List[ReadVerdict]:
@@ -171,14 +174,13 @@ class ReorderingMonitor:
 
         Returns the verdicts newly produced by this call.
         """
-        self._buffer.append(op)
+        heapq.heappush(self._buffer, (op.time, op.uid, op))
         return self._drain(now - self.horizon)
 
     def _drain(self, watermark: float) -> List[ReadVerdict]:
-        self._buffer.sort(key=lambda o: (o.time, o.uid))
         released: List[ReadVerdict] = []
-        while self._buffer and self._buffer[0].time <= watermark:
-            verdict = self.monitor.observe(self._buffer.pop(0))
+        while self._buffer and self._buffer[0][0] <= watermark:
+            verdict = self.monitor.observe(heapq.heappop(self._buffer)[2])
             if verdict is not None:
                 released.append(verdict)
         self.verdicts.extend(released)

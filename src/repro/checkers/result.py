@@ -3,9 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.operations import Operation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with search.py
+    from repro.checkers.search import SearchStats
 
 
 @dataclass
@@ -17,7 +20,11 @@ class CheckResult:
     ``site_witnesses`` the per-site serializations (for the causal
     criteria).  When it fails, ``violation`` is a human-readable reason —
     for the timed criteria this names the late read and its ``W_r``.
-    ``states_explored`` reports search effort (for the ablation benches).
+    ``states_explored`` reports search effort (for the ablation benches);
+    ``stats`` carries the full :class:`~repro.checkers.search.SearchStats`
+    instrumentation when the backtracking engine ran.  ``unknown`` marks a
+    budget-exhausted check: the search gave up, so ``satisfied`` is False
+    but the criterion was *not* shown violated.
     """
 
     criterion: str
@@ -27,12 +34,17 @@ class CheckResult:
     violation: Optional[str] = None
     states_explored: int = 0
     parameters: Dict[str, float] = field(default_factory=dict)
+    stats: Optional["SearchStats"] = None
+    unknown: bool = False
 
     def __bool__(self) -> bool:
         return self.satisfied
 
     def __repr__(self) -> str:
-        verdict = "SATISFIED" if self.satisfied else "VIOLATED"
+        if self.unknown:
+            verdict = "UNKNOWN"
+        else:
+            verdict = "SATISFIED" if self.satisfied else "VIOLATED"
         params = ", ".join(f"{k}={v:g}" for k, v in self.parameters.items())
         suffix = f" ({params})" if params else ""
         return f"<{self.criterion}{suffix}: {verdict}>"

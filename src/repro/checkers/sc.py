@@ -51,10 +51,17 @@ def check_sc(
         stats=stats,
     )
     if witness is not None:
-        return CheckResult("SC", True, witness=witness, states_explored=stats.states)
+        return CheckResult(
+            "SC",
+            True,
+            witness=witness,
+            states_explored=stats.states,
+            stats=stats,
+        )
     return CheckResult(
         "SC",
         False,
         violation="no legal serialization of H respects all program orders",
         states_explored=stats.states,
+        stats=stats,
     )

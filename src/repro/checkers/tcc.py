@@ -38,6 +38,7 @@ def check_tcc(
     delta: float,
     epsilon: float = 0.0,
     budget: int = DEFAULT_BUDGET,
+    method: str = "constraint",
 ) -> CheckResult:
     """Decide TCC(delta) under clock precision ``epsilon`` (decomposed)."""
     params = {"delta": delta, "epsilon": epsilon}
@@ -55,7 +56,7 @@ def check_tcc(
             ),
             parameters=params,
         )
-    cc = check_cc(history, budget=budget)
+    cc = check_cc(history, budget=budget, method=method)
     return CheckResult(
         "TCC",
         cc.satisfied,
@@ -63,6 +64,7 @@ def check_tcc(
         violation=None if cc.satisfied else cc.violation,
         states_explored=cc.states_explored,
         parameters=params,
+        stats=cc.stats,
     )
 
 
@@ -88,6 +90,7 @@ def check_tcc_direct(
         "respecting causal order",
         states_explored=cc.states_explored,
         parameters={"delta": delta, "epsilon": epsilon},
+        stats=cc.stats,
     )
 
 
@@ -121,4 +124,5 @@ def check_tcc_logical(
         violation=None if cc.satisfied else cc.violation,
         states_explored=cc.states_explored,
         parameters=params,
+        stats=cc.stats,
     )

@@ -15,8 +15,9 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.checkers.cc import check_cc
+from repro.checkers.result import SearchBudgetExceeded
 from repro.checkers.sc import check_sc
-from repro.checkers.search import DEFAULT_BUDGET
+from repro.checkers.search import DEFAULT_BUDGET, SearchStats
 from repro.clocks.xi import XiMap
 from repro.core.history import History
 from repro.core.timed import min_timed_delta, min_timed_delta_logical
@@ -30,19 +31,36 @@ class ThresholdReport:
     the criterion, ``math.inf`` when no finite delta works because the
     untimed base criterion (SC/CC) already fails.  ``timed_threshold`` is
     the smallest delta making every read on time regardless of ordering.
+
+    ``sc_holds``/``cc_holds`` are ``None`` when the corresponding search
+    exhausted its state budget — the base criterion is then *unknown*, not
+    violated, and the matching threshold is ``math.nan``.  ``sc_stats`` /
+    ``cc_stats`` carry the search instrumentation when the backtracking
+    engine ran.
     """
 
     timed_threshold: float
-    sc_holds: bool
-    cc_holds: bool
+    sc_holds: Optional[bool]
+    cc_holds: Optional[bool]
     tsc_threshold: float
     tcc_threshold: float
     epsilon: float = 0.0
+    sc_stats: Optional[SearchStats] = None
+    cc_stats: Optional[SearchStats] = None
 
-    def satisfies_tsc(self, delta: float) -> bool:
+    @property
+    def unknown(self) -> bool:
+        """True when budget exhaustion left any base verdict undecided."""
+        return self.sc_holds is None or self.cc_holds is None
+
+    def satisfies_tsc(self, delta: float) -> Optional[bool]:
+        if self.sc_holds is None:
+            return None
         return self.sc_holds and delta >= self.tsc_threshold
 
-    def satisfies_tcc(self, delta: float) -> bool:
+    def satisfies_tcc(self, delta: float) -> Optional[bool]:
+        if self.cc_holds is None:
+            return None
         return self.cc_holds and delta >= self.tcc_threshold
 
 
@@ -50,18 +68,42 @@ def threshold_report(
     history: History,
     epsilon: float = 0.0,
     budget: int = DEFAULT_BUDGET,
+    method: str = "constraint",
 ) -> ThresholdReport:
-    """Compute the full threshold report for one execution."""
+    """Compute the full threshold report for one execution.
+
+    Budget exhaustion in either base check surfaces as ``sc_holds`` /
+    ``cc_holds`` of ``None`` (threshold ``math.nan``) instead of an
+    exception.
+    """
     timed_thr = min_timed_delta(history, epsilon)
-    sc = check_sc(history, budget=budget)
-    cc = check_cc(history, budget=budget)
+    try:
+        sc = check_sc(history, budget=budget, method=method)
+        sc_holds: Optional[bool] = sc.satisfied
+        sc_stats = sc.stats
+    except SearchBudgetExceeded:
+        sc_holds, sc_stats = None, None
+    try:
+        cc = check_cc(history, budget=budget, method=method)
+        cc_holds: Optional[bool] = cc.satisfied
+        cc_stats = cc.stats
+    except SearchBudgetExceeded:
+        cc_holds, cc_stats = None, None
+
+    def threshold_of(holds: Optional[bool]) -> float:
+        if holds is None:
+            return math.nan
+        return timed_thr if holds else math.inf
+
     return ThresholdReport(
         timed_threshold=timed_thr,
-        sc_holds=sc.satisfied,
-        cc_holds=cc.satisfied,
-        tsc_threshold=timed_thr if sc.satisfied else math.inf,
-        tcc_threshold=timed_thr if cc.satisfied else math.inf,
+        sc_holds=sc_holds,
+        cc_holds=cc_holds,
+        tsc_threshold=threshold_of(sc_holds),
+        tcc_threshold=threshold_of(cc_holds),
         epsilon=epsilon,
+        sc_stats=sc_stats,
+        cc_stats=cc_stats,
     )
 
 
@@ -104,13 +146,15 @@ def delta_spectrum(
     deltas: Optional[list] = None,
     epsilon: float = 0.0,
     budget: int = DEFAULT_BUDGET,
+    method: str = "constraint",
 ) -> dict:
     """Evaluate TSC/TCC satisfaction across a range of deltas.
 
     Returns ``{delta: (tsc_ok, tcc_ok)}`` — the Figure 4b sweep for one
     execution.  The default grid brackets the execution's own threshold.
+    An entry is ``None`` (unknown) when the base check ran out of budget.
     """
-    report = threshold_report(history, epsilon, budget)
+    report = threshold_report(history, epsilon, budget, method=method)
     if deltas is None:
         thr = report.timed_threshold
         if thr == 0.0 or math.isinf(thr):

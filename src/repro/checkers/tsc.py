@@ -33,6 +33,7 @@ def check_tsc(
     delta: float,
     epsilon: float = 0.0,
     budget: int = DEFAULT_BUDGET,
+    method: str = "constraint",
 ) -> CheckResult:
     """Decide TSC(delta) under clock precision ``epsilon`` (decomposed)."""
     late = late_reads(history, delta, epsilon)
@@ -50,7 +51,7 @@ def check_tsc(
             ),
             parameters=params,
         )
-    sc = check_sc(history, budget=budget)
+    sc = check_sc(history, budget=budget, method=method)
     return CheckResult(
         "TSC",
         sc.satisfied,
@@ -58,6 +59,7 @@ def check_tsc(
         violation=None if sc.satisfied else sc.violation,
         states_explored=sc.states_explored,
         parameters=params,
+        stats=sc.stats,
     )
 
 
@@ -82,4 +84,5 @@ def check_tsc_direct(
         else "no timed legal serialization respects all program orders",
         states_explored=sc.states_explored,
         parameters={"delta": delta, "epsilon": epsilon},
+        stats=sc.stats,
     )

@@ -24,6 +24,8 @@ from typing import List, Optional
 
 from repro.analysis import delta_cost_sweep, print_table
 from repro.checkers import (
+    DEFAULT_BUDGET,
+    SearchBudgetExceeded,
     check_cc,
     check_lin,
     check_sc,
@@ -35,12 +37,34 @@ from repro.core.io import load_history
 from repro.core.render import render_serialization, render_timeline
 
 CHECKERS = {
-    "lin": lambda h, a: check_lin(h),
-    "sc": lambda h, a: check_sc(h),
-    "cc": lambda h, a: check_cc(h),
-    "tsc": lambda h, a: check_tsc(h, a.delta, a.epsilon),
-    "tcc": lambda h, a: check_tcc(h, a.delta, a.epsilon),
+    "lin": lambda h, a: check_lin(h, budget=a.budget),
+    "sc": lambda h, a: check_sc(h, budget=a.budget, method=a.method),
+    "cc": lambda h, a: check_cc(h, budget=a.budget, method=a.method),
+    "tsc": lambda h, a: check_tsc(
+        h, a.delta, a.epsilon, budget=a.budget, method=a.method),
+    "tcc": lambda h, a: check_tcc(
+        h, a.delta, a.epsilon, budget=a.budget, method=a.method),
 }
+
+
+def _print_search_stats(result) -> None:
+    if result.stats is not None:
+        print("search stats:")
+        for field, value in result.stats.as_dict().items():
+            if field == "prunes":
+                pruned = ", ".join(f"{k}={v}" for k, v in value.items())
+                print(f"  prunes: {pruned}")
+            elif field == "wall_time":
+                print(f"  wall_time: {value:.6f}s")
+            else:
+                print(f"  {field}: {value}")
+    else:
+        # Constraint-saturation engine: no search instrumentation beyond
+        # the state counter.
+        print("search stats:")
+        print(f"  states: {result.states_explored}")
+        print("  (constraint engine; re-run with --method search for the "
+              "full breakdown)")
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -48,21 +72,45 @@ def cmd_check(args: argparse.Namespace) -> int:
     if args.criterion in ("tsc", "tcc") and args.delta is None:
         print("error: --delta is required for tsc/tcc", file=sys.stderr)
         return 2
-    result = CHECKERS[args.criterion](history, args)
+    try:
+        result = CHECKERS[args.criterion](history, args)
+    except SearchBudgetExceeded as exc:
+        if args.json:
+            import json
+
+            print(json.dumps({
+                "criterion": args.criterion,
+                "satisfied": None,
+                "unknown": True,
+                "violation": None,
+                "budget": exc.budget,
+            }))
+        else:
+            print(f"{args.criterion.upper()}: UNKNOWN")
+            print(f"  {exc}")
+        return 3
     if args.json:
         import json
 
-        print(json.dumps({
+        payload = {
             "criterion": args.criterion,
             "satisfied": result.satisfied,
+            "unknown": result.unknown,
             "violation": result.violation,
             "parameters": result.parameters,
-        }))
+        }
+        if args.stats:
+            payload["states_explored"] = result.states_explored
+            if result.stats is not None:
+                payload["stats"] = result.stats.as_dict()
+        print(json.dumps(payload))
         return 0 if result.satisfied else 1
     verdict = "SATISFIED" if result.satisfied else "VIOLATED"
     print(f"{args.criterion.upper()}: {verdict}")
     if result.violation:
         print(f"  {result.violation}")
+    if args.stats:
+        _print_search_stats(result)
     if args.render:
         print()
         print(render_timeline(history))
@@ -80,24 +128,38 @@ def cmd_check(args: argparse.Namespace) -> int:
 def cmd_threshold(args: argparse.Namespace) -> int:
     history = load_history(args.trace)
     report = threshold_report(history, epsilon=args.epsilon)
+
+    def show(value):
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            return "unknown"
+        return value
+
     if args.json:
         import json
+
+        def jsonable(value):
+            if isinstance(value, float) and math.isnan(value):
+                return None  # budget-exhausted threshold: unknown
+            return value
 
         print(json.dumps({
             "sc": report.sc_holds,
             "cc": report.cc_holds,
+            "unknown": report.unknown,
             "timed_threshold": report.timed_threshold,
-            "tsc_threshold": report.tsc_threshold,
-            "tcc_threshold": report.tcc_threshold,
+            "tsc_threshold": jsonable(report.tsc_threshold),
+            "tcc_threshold": jsonable(report.tcc_threshold),
             "epsilon": report.epsilon,
         }))
         return 0
     rows = [
-        {"quantity": "SC holds", "value": report.sc_holds},
-        {"quantity": "CC holds", "value": report.cc_holds},
+        {"quantity": "SC holds", "value": show(report.sc_holds)},
+        {"quantity": "CC holds", "value": show(report.cc_holds)},
         {"quantity": "timedness threshold", "value": report.timed_threshold},
-        {"quantity": "TSC threshold (delta*)", "value": report.tsc_threshold},
-        {"quantity": "TCC threshold (delta*)", "value": report.tcc_threshold},
+        {"quantity": "TSC threshold (delta*)",
+         "value": show(report.tsc_threshold)},
+        {"quantity": "TCC threshold (delta*)",
+         "value": show(report.tcc_threshold)},
     ]
     print_table(rows, title=f"thresholds of {args.trace} (epsilon={args.epsilon:g})")
     return 0
@@ -386,6 +448,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--criterion", choices=sorted(CHECKERS), default="sc")
     p_check.add_argument("--delta", type=float, default=None)
     p_check.add_argument("--epsilon", type=float, default=0.0)
+    p_check.add_argument("--method", choices=["constraint", "search"],
+                         default="constraint",
+                         help="checking engine for sc/cc/tsc/tcc "
+                         "(default: constraint saturation)")
+    p_check.add_argument("--budget", type=int, default=DEFAULT_BUDGET,
+                         help="search state budget; exhaustion reports "
+                         "UNKNOWN and exits 3")
+    p_check.add_argument("--stats", action="store_true",
+                         help="print search instrumentation (states, memo "
+                         "hits, prunes by reason, depth, wall time)")
     p_check.add_argument("--render", action="store_true")
     p_check.add_argument("--witness", action="store_true")
     p_check.add_argument("--json", action="store_true",

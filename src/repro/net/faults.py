@@ -109,12 +109,15 @@ class FaultInjector:
 
     def plan(self, kind: str) -> List[float]:
         """Delays of the copies to deliver for one frame of ``kind``."""
+        # A partition severs the link for *every* frame, including kinds
+        # outside this injector's filter — check it before the kind filter.
+        if self._partitioned:
+            self.stats.planned += 1
+            self.stats.dropped += 1
+            return []
         if not self.applies_to(kind):
             return [0.0]
         self.stats.planned += 1
-        if self._partitioned:
-            self.stats.dropped += 1
-            return []
         cfg = self.config
         copies = 1
         if cfg.duplicate_probability and self.rng.random() < cfg.duplicate_probability:

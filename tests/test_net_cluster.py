@@ -178,6 +178,21 @@ class TestFaultInjection:
 
         asyncio.run(scenario())
 
+    def test_partition_drops_kinds_outside_filter(self):
+        """Regression: a kind-filtered injector must still drop everything
+        while partitioned — a partition severs the whole link, not just
+        the kinds it otherwise injects faults into."""
+        injector = FaultInjector(FaultConfig(), kinds={messages.FETCH})
+        assert injector.plan(messages.WRITE) == [0.0]  # not filtered, no fault
+        injector.partition()
+        assert injector.plan(messages.FETCH) == []
+        assert injector.plan(messages.WRITE) == []  # used to leak through
+        assert injector.stats.dropped == 2
+        assert injector.stats.planned == 2
+        injector.heal()
+        assert injector.plan(messages.WRITE) == [0.0]
+        assert injector.plan(messages.FETCH) == [0.0]
+
 
 class TestPropagationPolicies:
     def test_invalidation_policy_marks_entries_old(self):

@@ -32,6 +32,59 @@ class TestReorderingMonitor:
         with pytest.raises(ValueError):
             ReorderingMonitor(OnlineTimedMonitor(delta=1.0), horizon=-0.5)
 
+    def test_heap_drain_order_matches_sort_drain(self):
+        """The heapq buffer must release operations in exactly the order
+        the old sort-the-buffer-and-pop(0) implementation did."""
+        import random
+
+        class SortDrainMonitor(ReorderingMonitor):
+            # The pre-heapq implementation, kept verbatim as the oracle.
+            def __init__(self, monitor, horizon):
+                super().__init__(monitor, horizon)
+                self._ops = []
+
+            def push(self, op, now):
+                self._ops.append(op)
+                return self._drain(now - self.horizon)
+
+            def _drain(self, watermark):
+                self._ops.sort(key=lambda o: (o.time, o.uid))
+                released = []
+                while self._ops and self._ops[0].time <= watermark:
+                    verdict = self.monitor.observe(self._ops.pop(0))
+                    if verdict is not None:
+                        released.append(verdict)
+                self.verdicts.extend(released)
+                return released
+
+        rng = random.Random(42)
+        ops = []
+        t = 0.0
+        for i in range(200):
+            t += rng.uniform(0.0, 0.2)
+            if rng.random() < 0.4:
+                ops.append(write(i % 5, "x", i, t))
+            else:
+                ops.append(read(i % 5, "x", ops[-1].value if ops else 0, t))
+        # Each op surfaces up to 0.4s after its effective time — strictly
+        # within the monitors' 0.5s horizon.
+        arrivals = sorted(
+            ((op.time + rng.uniform(0.0, 0.4), op) for op in ops),
+            key=lambda pair: pair[0],
+        )
+
+        new = ReorderingMonitor(OnlineTimedMonitor(delta=0.5), horizon=0.5)
+        old = SortDrainMonitor(OnlineTimedMonitor(delta=0.5), horizon=0.5)
+        for now, op in arrivals:
+            new.push(op, now=now)
+            old.push(op, now=now)
+        new_verdicts = new.flush()
+        old_verdicts = old.flush()
+        assert [(v.read.uid, v.on_time, v.missed, v.required_delta)
+                for v in new_verdicts] == \
+               [(v.read.uid, v.on_time, v.missed, v.required_delta)
+                for v in old_verdicts]
+
     def test_live_cluster_monitoring_matches_offline(self):
         delta = 0.3
         cluster = Cluster(n_clients=4, n_servers=1, variant="sc", seed=3)
