@@ -1,0 +1,139 @@
+"""Throughput and delta-violation rate of the ring-routed TCP cluster
+as the deployment scales across ``n_servers x replication factor``.
+
+Every cell of the sweep runs a real localhost cluster through
+:func:`repro.net.ring_demo.ring_cluster` — servers with skewed clocks,
+ring-routed replicated clients — and every recorded trace is
+checker-verified (TSC at the configured delta with the composed
+epsilon) before its numbers are admitted to the table.  That keeps the
+bench honest: a configuration that trades consistency for throughput
+would fail the run, not pad the table.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_ring_scaling.py`` — full sweep, appends the
+  table to ``latest_results.txt`` via the shared reporter;
+* ``python benchmarks/bench_ring_scaling.py [--smoke]`` — plain script
+  for CI; ``--smoke`` shrinks the sweep to two cells (single-server
+  baseline and the acceptance 3x2 configuration).
+"""
+
+import sys
+import time
+
+from repro.net.ring_demo import run_ring_soak
+
+DELTA = 0.4
+ROUNDS = 25  # operations per client per cell
+CLIENTS = 2
+
+#: (n_servers, replicas) cells of the full sweep.
+FULL_SWEEP = ((1, 1), (2, 1), (3, 1), (3, 2), (4, 2), (5, 3))
+SMOKE_SWEEP = ((1, 1), (3, 2))
+
+
+def run_cell(n_servers, replicas, rounds=ROUNDS, seed=7):
+    start = time.perf_counter()
+    report = run_ring_soak(
+        n_servers=n_servers, replicas=replicas, n_clients=CLIENTS,
+        rounds=rounds, delta=DELTA, seed=seed,
+    )
+    wall = time.perf_counter() - start
+    total_ops = sum(
+        s.reads + s.writes for s in report.router_stats.values()
+    )
+    row = {
+        "servers": n_servers,
+        "replicas": replicas,
+        "ops": total_ops,
+        "ops_per_sec": int(total_ops / wall) if wall > 0 else 0,
+        "wall_s": round(wall, 2),
+        "epsilon_ms": round(report.epsilon * 1000, 3),
+        "late_reads": len(report.late_reads),
+        "violation_rate": round(
+            len(report.late_reads) / max(len(report.verdicts), 1), 3
+        ),
+        "off_ring": report.off_ring_reads,
+        "tsc": "ok" if report.tsc.satisfied else "VIOLATED",
+    }
+    return row, report
+
+
+def run_sweep(cells, rounds=ROUNDS):
+    rows = []
+    failures = []
+    for n_servers, replicas in cells:
+        row, report = run_cell(n_servers, replicas, rounds=rounds)
+        rows.append(row)
+        if not report.tsc.satisfied:
+            failures.append(
+                f"{n_servers}x{replicas}: {report.tsc.violation}"
+            )
+        if report.off_ring_reads:
+            failures.append(
+                f"{n_servers}x{replicas}: {report.off_ring_reads} "
+                "off-ring reads"
+            )
+    return rows, failures
+
+
+NOTES = (
+    "Real localhost TCP clusters (repro.net.ring_demo): N servers with "
+    f"skewed clocks, {CLIENTS} ring-routed clients, full-N write "
+    f"fan-out, primary-first reads, delta={DELTA}.  Every cell's "
+    "recorded trace passed check_tsc at the composed epsilon; "
+    "violation_rate counts online-monitor late reads (0 = every read "
+    "within delta)."
+)
+
+COLUMNS = [
+    "servers", "replicas", "ops", "ops_per_sec", "wall_s",
+    "epsilon_ms", "late_reads", "violation_rate", "off_ring", "tsc",
+]
+
+
+def test_ring_scaling(benchmark):
+    from _report import report
+
+    rows, failures = benchmark.pedantic(
+        lambda: run_sweep(FULL_SWEEP), rounds=1, iterations=1
+    )
+    assert not failures, failures
+    report(
+        "Ring scaling: throughput and delta-violation rate vs "
+        "n_servers x replication factor (TCP, checker-verified)",
+        rows, columns=COLUMNS, notes=NOTES,
+    )
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short CI sweep: baseline and the 3x2 acceptance cell",
+    )
+    args = parser.parse_args(argv)
+
+    cells = SMOKE_SWEEP if args.smoke else FULL_SWEEP
+    rounds = 12 if args.smoke else ROUNDS
+    rows, failures = run_sweep(cells, rounds=rounds)
+    for row in rows:
+        print(row)
+    if failures:
+        print("FAIL:", "; ".join(failures), file=sys.stderr)
+        return 1
+    if not args.smoke:
+        from _report import report
+
+        report(
+            "Ring scaling: throughput and delta-violation rate vs "
+            "n_servers x replication factor (TCP, checker-verified)",
+            rows, columns=COLUMNS, notes=NOTES,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,9 +15,15 @@ simulator (:mod:`repro.sim`) or on in-process asyncio
 * :mod:`repro.net.faults` — frame-level delay/drop/duplicate/partition
   injection;
 * :mod:`repro.net.demo` — in-process localhost clusters whose recorded
-  traces are verified by the offline checkers (the acceptance loop).
+  traces are verified by the offline checkers (the acceptance loop);
+* :mod:`repro.net.ring_router` — the multi-server client: one
+  connection per ring device, W-of-N replicated writes, primary-first
+  reads, per-server clock sync composed onto one reference timescale;
+* :mod:`repro.net.ring_demo` — the multi-server soak harness behind
+  ``repro ring soak`` and the acceptance tests.
 
-See docs/NET_PROTOCOL.md for the wire format and failure semantics.
+See docs/NET_PROTOCOL.md for the wire format and failure semantics,
+docs/RING.md for placement and the multi-clock epsilon composition.
 """
 
 from repro.net.client import (
@@ -42,6 +48,8 @@ from repro.net.framing import (
     encode_frame,
     read_frame,
 )
+from repro.net.ring_demo import RingReport, ring_cluster, run_ring_soak
+from repro.net.ring_router import RingRouter, RouterStats
 from repro.net.server import NetObjectServer
 
 __all__ = [
@@ -58,11 +66,16 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
     "RequestTimeout",
+    "RingReport",
+    "RingRouter",
+    "RouterStats",
     "SyncSample",
     "SyncedClock",
     "decode_frame",
     "encode_frame",
     "read_frame",
+    "ring_cluster",
     "run_push_staleness_demo",
+    "run_ring_soak",
     "run_random_net_workload",
 ]

@@ -95,10 +95,21 @@ class NetCacheClient:
         skew: float = 0.0,
         faults: Optional[FaultInjector] = None,
         sync_rounds: int = 5,
+        sync_retries: int = 3,
         request_timeout: float = 0.5,
         max_retries: int = 4,
         backoff: float = 2.0,
+        clock: Optional[SyncedClock] = None,
     ) -> None:
+        """``sync_retries`` bounds how often a failed connect/clock-sync
+        handshake is redone (fresh connection, capped exponential backoff
+        — the :class:`~repro.net.faults` ``_RetryMixin`` pattern at the
+        handshake layer) before a clean :class:`NetError` surfaces.
+
+        ``clock`` substitutes a caller-owned :class:`SyncedClock` — the
+        :class:`~repro.net.ring_router.RingRouter` passes per-device
+        clocks sharing one local timescale so cross-server offsets
+        compose (docs/RING.md)."""
         if delta < 0:
             raise ValueError(f"delta must be non-negative, got {delta}")
         if mode not in FRESHNESS_MODES:
@@ -109,6 +120,8 @@ class NetCacheClient:
             raise ValueError(f"max_retries must be non-negative, got {max_retries}")
         if backoff < 1.0:
             raise ValueError(f"backoff must be >= 1, got {backoff}")
+        if sync_retries < 0:
+            raise ValueError(f"sync_retries must be non-negative, got {sync_retries}")
         self.client_id = client_id
         self.host = host
         self.port = port
@@ -117,10 +130,11 @@ class NetCacheClient:
         self.recorder = recorder
         self.faults = faults
         self.sync_rounds = sync_rounds
+        self.sync_retries = sync_retries
         self.request_timeout = request_timeout
         self.max_retries = max_retries
         self.backoff = backoff
-        self.clock = SyncedClock(skew=skew)
+        self.clock = clock if clock is not None else SyncedClock(skew=skew)
         self.cache: Dict[str, CacheEntry] = {}
         self.context = 0.0
         self.stats = ClientStats()
@@ -132,6 +146,34 @@ class NetCacheClient:
     # -- connection lifecycle -------------------------------------------------
 
     async def connect(self) -> "NetCacheClient":
+        """Connect and synchronize; one bad handshake round is not fatal.
+
+        A server that closes mid-sync (restart, accept-queue overflow) is
+        retried on a fresh connection with capped exponential backoff;
+        only after ``sync_retries + 1`` failed handshakes does a clean
+        :class:`NetError` surface.
+        """
+        wait = 0.05
+        for attempt in range(self.sync_retries + 1):
+            try:
+                await self._handshake()
+                break
+            except (ConnectionError, FrameError) as exc:
+                await self._abandon_connection()
+                if attempt == self.sync_retries:
+                    raise NetError(
+                        f"clock-sync handshake failed after {attempt + 1} "
+                        f"attempts: {exc}"
+                    ) from exc
+                await asyncio.sleep(wait)
+                wait = min(wait * self.backoff, 1.0)
+        # Faults attach only now: the handshake always completes, the
+        # workload runs over the unreliable link.
+        self.conn.faults = self.faults
+        self._recv_task = asyncio.ensure_future(self._recv_loop())
+        return self
+
+    async def _handshake(self) -> None:
         reader, writer = await asyncio.open_connection(self.host, self.port)
         self.conn = FrameConnection(reader, writer)
         await self.conn.send({
@@ -140,14 +182,19 @@ class NetCacheClient:
             "subscribe": self.mode == "push",
         })
         ack = await self.conn.recv()
-        if ack is None or ack.get("kind") != HELLO_ACK:
+        if ack is None:
+            raise ConnectionError("server closed during handshake")
+        if ack.get("kind") != HELLO_ACK:
             raise ProtocolError(f"bad handshake reply: {ack!r}")
         await self._sync_clock(self.sync_rounds)
-        # Faults attach only now: the handshake always completes, the
-        # workload runs over the unreliable link.
-        self.conn.faults = self.faults
-        self._recv_task = asyncio.ensure_future(self._recv_loop())
-        return self
+
+    async def _abandon_connection(self) -> None:
+        if self.conn is not None:
+            try:
+                await self.conn.close()
+            except Exception:
+                pass
+            self.conn = None
 
     async def _sync_clock(self, rounds: int) -> None:
         for _ in range(rounds):

@@ -1,0 +1,244 @@
+"""Multi-server TCP soak: ring-routed cluster, recorded and checked.
+
+The multi-server twin of :mod:`repro.net.demo`: start ``n_servers`` real
+:class:`~repro.net.server.NetObjectServer` processes-in-miniature (each
+with its *own* skewed clock — genuinely distinct timescales), connect
+``n_clients`` :class:`~repro.net.ring_router.RingRouter` sites, drive a
+mixed read/write workload over a shared namespace, and judge the merged
+trace with the offline checkers at the epsilon the routers' clock-sync
+layer reports (``max_site 2*(err_ref + max_dev err_dev)``).
+
+Optionally the soak grows the ring mid-run (``add_device_midway``): a
+fresh server joins, the builder rebalances (minimal moves), the handoff
+is replayed over the live connections while reads continue against the
+old ring, then every router cuts over atomically and the workload
+resumes.  The whole trace — before, during, and after the handoff —
+must still satisfy the timed criterion at the configured delta; that is
+the acceptance bar for ``repro ring soak`` and
+``tests/test_ring_net.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.checkers import check_tcc
+from repro.checkers.online import ReadVerdict
+from repro.checkers.result import CheckResult
+from repro.clocks.rebase import RebasedClock
+from repro.core.history import History
+from repro.net.demo import _judge, default_skews
+from repro.net.ring_router import RingRouter, RouterStats
+from repro.net.server import NetObjectServer
+from repro.ring.placement import PlacementStats
+from repro.ring.rebalance import HandoffReport, PartitionMove, Rebalancer
+from repro.ring.ring import Ring, RingBuilder
+from repro.sim.trace import TraceRecorder, UniqueValueFactory
+
+DEFAULT_OBJECTS = ("apple", "birch", "cedar", "delta", "elm", "fir")
+
+
+@dataclass
+class RingReport:
+    """Everything a caller needs to judge one multi-server run."""
+
+    history: History
+    ring: Ring
+    delta: float
+    epsilon: float
+    tsc: CheckResult
+    tcc: CheckResult
+    sc: CheckResult
+    verdicts: List[ReadVerdict]
+    router_stats: Dict[int, RouterStats]
+    placement_stats: Dict[int, PlacementStats]
+    server_requests: Dict[int, int]
+    moves: List[PartitionMove] = field(default_factory=list)
+    handoff: Optional[HandoffReport] = None
+
+    @property
+    def late_reads(self) -> List[ReadVerdict]:
+        return [v for v in self.verdicts if not v.on_time]
+
+    @property
+    def off_ring_reads(self) -> int:
+        return sum(s.off_ring_reads for s in self.router_stats.values())
+
+    @property
+    def reads_by_device(self) -> Dict[int, int]:
+        merged: Dict[int, int] = {}
+        for stats in self.router_stats.values():
+            for dev, count in stats.reads_by_device.items():
+                merged[dev] = merged.get(dev, 0) + count
+        return merged
+
+    @property
+    def writes_by_device(self) -> Dict[int, int]:
+        merged: Dict[int, int] = {}
+        for stats in self.router_stats.values():
+            for dev, count in stats.writes_by_device.items():
+                merged[dev] = merged.get(dev, 0) + count
+        return merged
+
+    def repairs(self) -> Tuple[int, int, int]:
+        """(queued, done, late) summed over all routers."""
+        queued = sum(s.repairs_queued for s in self.placement_stats.values())
+        done = sum(s.repairs_done for s in self.placement_stats.values())
+        late = sum(s.repairs_late for s in self.placement_stats.values())
+        return queued, done, late
+
+
+async def ring_cluster(
+    *,
+    n_servers: int = 3,
+    replicas: int = 2,
+    n_clients: int = 2,
+    part_power: int = 6,
+    delta: float = 0.4,
+    objects: Sequence[str] = DEFAULT_OBJECTS,
+    rounds: int = 30,
+    write_fraction: float = 0.3,
+    think: float = 0.002,
+    skew: float = 0.05,
+    server_skew: float = 0.02,
+    seed: int = 7,
+    write_quorum: Optional[int] = None,
+    read_policy: str = "primary",
+    add_device_midway: bool = False,
+    host: str = "127.0.0.1",
+) -> RingReport:
+    """Run one ring-routed cluster end to end; see the module docstring."""
+    if replicas > n_servers:
+        raise ValueError(
+            f"replication factor {replicas} exceeds {n_servers} servers"
+        )
+    builder = RingBuilder(part_power, replicas)
+    for dev_id in range(n_servers):
+        builder.add_device(dev_id)
+    ring, _ = builder.rebalance()
+
+    server_skews = default_skews(n_servers + 1, server_skew)
+    servers: Dict[int, NetObjectServer] = {}
+    for dev_id in range(n_servers):
+        server = NetObjectServer(
+            host, 0, propagation="none",
+            clock=RebasedClock(offset=server_skews[dev_id]),
+        )
+        await server.start()
+        servers[dev_id] = server
+    endpoints = {dev_id: (host, srv.port) for dev_id, srv in servers.items()}
+
+    recorder = TraceRecorder()
+    values = UniqueValueFactory()
+    client_skews = default_skews(n_clients, skew)
+    routers = [
+        RingRouter(
+            i, ring, endpoints,
+            delta=delta, write_quorum=write_quorum, read_policy=read_policy,
+            recorder=recorder, skew=client_skews[i],
+        )
+        for i in range(n_clients)
+    ]
+    moves: List[PartitionMove] = []
+    handoff: Optional[HandoffReport] = None
+    final_ring = ring
+    try:
+        for router in routers:
+            await router.connect()
+            router.start_anti_entropy(period=min(0.05, delta / 4.0)
+                                      if not math.isinf(delta) else 0.05)
+        # Seed: every object gets a first real version on its full
+        # replica set, so no read depends on the servers' initial value.
+        for obj in objects:
+            await routers[0].write(obj, values.next_value(routers[0].client_id))
+
+        async def mixed(router: RingRouter, n: int, salt: int) -> None:
+            rng = random.Random(seed + 31 * router.client_id + salt)
+            for _ in range(n):
+                await asyncio.sleep(rng.uniform(0.0, 2 * think))
+                obj = rng.choice(list(objects))
+                if rng.random() < write_fraction:
+                    await router.write(obj, values.next_value(router.client_id))
+                else:
+                    await router.read(obj)
+
+        await asyncio.gather(*(mixed(r, rounds, 0) for r in routers))
+
+        if add_device_midway:
+            new_id = n_servers
+            joiner = NetObjectServer(
+                host, 0, propagation="none",
+                clock=RebasedClock(offset=server_skews[new_id]),
+            )
+            await joiner.start()
+            servers[new_id] = joiner
+            for router in routers:
+                await router.connect_device(new_id, host, joiner.port)
+            rebalancer = Rebalancer(builder, ring)
+            new_ring, moves = rebalancer.add_device(
+                new_id, address=f"{host}:{joiner.port}"
+            )
+            # Copy moved partitions over the live connections while the
+            # routers keep reading against the OLD ring (writes pause for
+            # the copy window — the cutover discipline of docs/RING.md).
+            stop_reading = asyncio.Event()
+
+            async def read_through_handoff(router: RingRouter) -> None:
+                rng = random.Random(seed + router.client_id)
+                while not stop_reading.is_set():
+                    await router.read(rng.choice(list(objects)))
+                    await asyncio.sleep(think)
+
+            readers = [
+                asyncio.ensure_future(read_through_handoff(r)) for r in routers
+            ]
+            try:
+                handoff = await rebalancer.handoff(
+                    moves, objects, ring, routers[0].placement.transport
+                )
+            finally:
+                stop_reading.set()
+                await asyncio.gather(*readers, return_exceptions=True)
+            for router in routers:
+                router.swap_ring(new_ring)
+            final_ring = new_ring
+            await asyncio.gather(
+                *(mixed(r, max(rounds // 2, 5), 1) for r in routers)
+            )
+
+        for router in routers:
+            await router.placement.drain()
+    finally:
+        for router in routers:
+            await router.close()
+        for server in servers.values():
+            await server.close()
+
+    history = recorder.history()
+    epsilon = max(router.epsilon_bound for router in routers)
+    tsc, sc, verdicts = _judge(history, delta, epsilon)
+    tcc = check_tcc(history, delta, epsilon)
+    return RingReport(
+        history=history,
+        ring=final_ring,
+        delta=delta,
+        epsilon=epsilon,
+        tsc=tsc,
+        tcc=tcc,
+        sc=sc,
+        verdicts=verdicts,
+        router_stats={r.client_id: r.stats for r in routers},
+        placement_stats={r.client_id: r.placement.stats for r in routers},
+        server_requests={d: s.requests for d, s in servers.items()},
+        moves=list(moves),
+        handoff=handoff,
+    )
+
+
+def run_ring_soak(**kwargs) -> RingReport:
+    """Synchronous wrapper around :func:`ring_cluster`."""
+    return asyncio.run(ring_cluster(**kwargs))

@@ -1,0 +1,299 @@
+"""Client-side ring routing for the TCP lifetime protocol.
+
+A :class:`RingRouter` is one *site* of a multi-server deployment: it
+holds one :class:`~repro.net.client.NetCacheClient` connection per ring
+device, routes every operation to the owning device(s) via a
+:class:`~repro.ring.placement.ReplicatedPlacement`, and records the
+site's trace on a single reference timescale.
+
+**Clocks.** Every server stamps times with its own clock; a merged
+multi-server trace needs one timescale.  All of a router's per-device
+clients share one *local* clock (a :class:`RebasedClock`, optionally
+skewed), so each device's NTP-estimated offset maps the shared local
+clock onto that device's timescale.  Device timescales then compose
+through the local clock: a stamp ``t`` from device ``d`` rebases onto
+the *reference* device (the lowest device id) as::
+
+    t_ref = t + (offset_ref - offset_d)
+
+with worst-case error ``err_d + err_ref`` (each estimate contributes
+its own NTP error bound).  The router's :attr:`epsilon_bound` is
+therefore ``2 * (err_ref + max_d err_d)`` — the epsilon a merged trace
+must be checked with (Definition 2's pairwise precision, now across
+server clocks as well as client clocks; see docs/RING.md).
+
+**Placement.** Writes fan out W-of-N through the per-device clients
+(the primary's ack is the write's effective time); reads route
+primary-first with replica fallback; failed fan-out copies are queued
+for delta-bounded anti-entropy (:meth:`start_anti_entropy`).  Reads are
+guarded: serving a read from a device outside the object's replica set
+is a routing bug, counted in ``off_ring_reads`` and asserted zero by
+the acceptance tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.clocks.rebase import RebasedClock
+from repro.net.client import NetCacheClient, NetError
+from repro.net.clocksync import SyncedClock
+from repro.net.faults import FaultInjector
+from repro.protocol.stats import ClientStats
+from repro.ring.placement import PlacementError, ReplicatedPlacement
+from repro.ring.ring import Ring
+from repro.sim.trace import TraceRecorder
+
+READ_POLICIES = ("primary", "spread")
+
+
+@dataclass
+class RouterStats:
+    """Routing-level counters, on top of the per-device client stats."""
+
+    reads: int = 0
+    writes: int = 0
+    off_ring_reads: int = 0  #: reads served by a device outside the replica set
+    reads_by_device: Dict[int, int] = field(default_factory=dict)
+    writes_by_device: Dict[int, int] = field(default_factory=dict)
+
+
+class _ClientTransport:
+    """Bridges :class:`ReplicatedPlacement` onto per-device clients."""
+
+    def __init__(self, router: "RingRouter") -> None:
+        self.router = router
+
+    async def write(self, device_id: int, obj: str, value: Any) -> float:
+        alpha = await self.router.clients[device_id].write(obj, value)
+        stats = self.router.stats.writes_by_device
+        stats[device_id] = stats.get(device_id, 0) + 1
+        return alpha
+
+    async def read(self, device_id: int, obj: str) -> Any:
+        return await self.router.clients[device_id].read(obj)
+
+
+class RingRouter:
+    """One site's view of a ring of lifetime-protocol servers.
+
+    ``endpoints`` maps device id -> ``(host, port)``; it must cover every
+    device of ``ring``.  ``read_policy`` is ``"primary"`` (exact: always
+    the authoritative device first) or ``"spread"`` (round-robin over the
+    replica set — higher read throughput, freshness backed by the W-of-N
+    fan-out plus anti-entropy within delta).
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        ring: Ring,
+        endpoints: Dict[int, Tuple[str, int]],
+        *,
+        delta: float = math.inf,
+        mode: str = "pull",
+        write_quorum: Optional[int] = None,
+        read_policy: str = "primary",
+        recorder: Optional[TraceRecorder] = None,
+        skew: float = 0.0,
+        sync_rounds: int = 5,
+        request_timeout: float = 0.5,
+        max_retries: int = 4,
+        fault_injectors: Optional[Dict[int, FaultInjector]] = None,
+    ) -> None:
+        if read_policy not in READ_POLICIES:
+            raise ValueError(
+                f"read_policy must be one of {READ_POLICIES}, got {read_policy!r}"
+            )
+        missing = set(ring.device_ids()) - set(endpoints)
+        if missing:
+            raise ValueError(f"no endpoint for ring devices {sorted(missing)}")
+        self.client_id = client_id
+        self.ring = ring
+        self.endpoints = dict(endpoints)
+        self.delta = delta
+        self.read_policy = read_policy
+        self.recorder = recorder
+        self.stats = RouterStats()
+        # One local clock shared by every per-device estimator: offsets
+        # then compose across devices (module docstring).
+        self.local_clock = RebasedClock(offset=skew)
+        injectors = fault_injectors or {}
+        self.clients: Dict[int, NetCacheClient] = {}
+        for dev_id in ring.device_ids():
+            host, port = endpoints[dev_id]
+            self.clients[dev_id] = NetCacheClient(
+                client_id, host, port,
+                delta=delta, mode=mode, recorder=None,
+                clock=SyncedClock(local=self.local_clock),
+                sync_rounds=sync_rounds,
+                request_timeout=request_timeout, max_retries=max_retries,
+                faults=injectors.get(dev_id),
+            )
+        self.reference = min(self.clients)
+        self.placement = ReplicatedPlacement(
+            ring, _ClientTransport(self),
+            write_quorum=write_quorum, delta=delta, clock=self.now,
+        )
+        self._spread_cursor = 0
+        self._anti_entropy_task: Optional[asyncio.Task] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def connect(self) -> "RingRouter":
+        for dev_id in sorted(self.clients):
+            await self.clients[dev_id].connect()
+        return self
+
+    async def close(self) -> None:
+        await self.stop_anti_entropy()
+        await self.placement.drain()
+        for client in self.clients.values():
+            await client.close()
+
+    async def __aenter__(self) -> "RingRouter":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    def swap_ring(self, ring: Ring) -> None:
+        """Atomic cutover after a rebalance + handoff (docs/RING.md).
+
+        Only rings over the same device set may be swapped live; adding
+        a device needs a new connection first (`connect_device`).
+        """
+        missing = set(ring.device_ids()) - set(self.clients)
+        if missing:
+            raise ValueError(
+                f"cannot swap: not connected to devices {sorted(missing)}"
+            )
+        self.ring = ring
+        self.placement.ring = ring
+
+    async def connect_device(
+        self, dev_id: int, host: str, port: int, **kwargs
+    ) -> None:
+        """Open a connection to a device about to join the ring."""
+        client = NetCacheClient(
+            self.client_id, host, port,
+            delta=self.delta, recorder=None,
+            clock=SyncedClock(local=self.local_clock),
+            **kwargs,
+        )
+        await client.connect()
+        self.clients[dev_id] = client
+        self.endpoints[dev_id] = (host, port)
+
+    # -- clocks ---------------------------------------------------------------
+
+    def now(self) -> float:
+        """The reference device's timescale — the merged trace's clock."""
+        return self.clients[self.reference].clock.now()
+
+    def offset_to_reference(self, dev_id: int) -> float:
+        """Maps a stamp on ``dev_id``'s timescale onto the reference's."""
+        ref = self.clients[self.reference].clock.estimator.offset
+        dev = self.clients[dev_id].clock.estimator.offset
+        return ref - dev
+
+    @property
+    def epsilon_bound(self) -> float:
+        """This site's contribution to the merged trace's epsilon."""
+        ref_err = self.clients[self.reference].clock.estimator.error_bound
+        worst = max(
+            client.clock.estimator.error_bound for client in self.clients.values()
+        )
+        return 2.0 * (ref_err + worst)
+
+    # -- operations -----------------------------------------------------------
+
+    def _read_order(self, obj: str) -> Tuple[int, ...]:
+        devices = self.ring.replicas_for(obj)
+        if self.read_policy == "primary" or len(devices) == 1:
+            return devices
+        self._spread_cursor += 1
+        start = self._spread_cursor % len(devices)
+        return devices[start:] + devices[:start]
+
+    async def read(self, obj: str) -> Any:
+        self.stats.reads += 1
+        started = self.now()
+        order = self._read_order(obj)
+        # Reuse the placement engine's fallback walk, over this read's
+        # device order (primary-first or rotated).
+        outcome = None
+        errors: List[str] = []
+        for index, dev in enumerate(order):
+            try:
+                value = await self.clients[dev].read(obj)
+            except asyncio.CancelledError:
+                raise
+            except (NetError, ConnectionError) as exc:
+                errors.append(f"device {dev}: {exc!r}")
+                continue
+            outcome = (dev, value, index)
+            break
+        self.placement.stats.reads += 1
+        if outcome is None:
+            raise PlacementError(
+                f"read of {obj!r} failed on every replica: " + "; ".join(errors)
+            )
+        dev, value, fallbacks = outcome
+        if fallbacks:
+            self.placement.stats.fallback_reads += 1
+        if dev not in self.ring.replicas_for(obj):
+            self.stats.off_ring_reads += 1
+        by_dev = self.stats.reads_by_device
+        by_dev[dev] = by_dev.get(dev, 0) + 1
+        if self.recorder is not None:
+            end = self.now()
+            self.recorder.record_read(
+                self.client_id, obj, value, end, start=started, end=end
+            )
+        return value
+
+    async def write(self, obj: str, value: Any) -> float:
+        """Replicated write; returns the effective (primary) install time
+        on the reference timescale."""
+        self.stats.writes += 1
+        started = self.now()
+        outcome = await self.placement.write(obj, value)
+        primary = self.ring.primary_for(obj)
+        alpha_ref = outcome.alpha + self.offset_to_reference(primary)
+        if self.recorder is not None:
+            self.recorder.record_write(
+                self.client_id, obj, value, alpha_ref,
+                start=started, end=self.now(),
+            )
+        return alpha_ref
+
+    # -- anti-entropy ----------------------------------------------------------
+
+    def start_anti_entropy(self, period: float = 0.05) -> None:
+        """Re-push failed fan-out copies every ``period`` seconds, so a
+        lagging replica receives a version before its lifetime expires."""
+        if self._anti_entropy_task is None:
+            self._anti_entropy_task = asyncio.ensure_future(
+                self.placement.anti_entropy_loop(period)
+            )
+
+    async def stop_anti_entropy(self) -> None:
+        if self._anti_entropy_task is not None:
+            self._anti_entropy_task.cancel()
+            try:
+                await self._anti_entropy_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._anti_entropy_task = None
+
+    # -- reporting -------------------------------------------------------------
+
+    def merged_client_stats(self) -> ClientStats:
+        total = ClientStats()
+        for client in self.clients.values():
+            total = total.merge(client.stats)
+        return total

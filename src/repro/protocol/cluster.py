@@ -65,6 +65,7 @@ class Cluster:
         retry_timeout: Optional[float] = None,
         per_client_delta: Optional[List[float]] = None,
         delta_overrides=None,
+        ring=None,
     ) -> None:
         """``causal_clock`` selects the logical clock of the CC/TCC
         variants: ``"vector"`` (exact, default) or ``"rev"`` (the
@@ -78,7 +79,14 @@ class Cluster:
         & Ahamad [23]: stricter clients pay more traffic, laxer clients
         less, and the shared ordering criterion still holds globally).
         ``delta_overrides`` (object name -> delta) applies the S-DSO [41]
-        per-object bounds to every client."""
+        per-object bounds to every client.
+
+        ``ring`` (a :class:`repro.ring.Ring` whose devices are the server
+        ids ``0..n_servers-1``) customizes object placement — weighted
+        devices, a different partition power.  Placement in the simulator
+        is primary-only: each object keeps a single authoritative server,
+        so every consistency argument of the one-server protocol carries
+        over unchanged; the ring decides *which* server that is."""
         if variant not in VARIANTS:
             raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
         if causal_clock not in ("vector", "rev"):
@@ -129,7 +137,7 @@ class Cluster:
 
         server_ids = list(range(n_servers))
         client_ids = list(range(n_servers, n_servers + n_clients))
-        self.directory = ObjectDirectory(server_ids)
+        self.directory = ObjectDirectory(server_ids, ring=ring)
 
         causal = variant in ("cc", "tcc")
         self.servers: List[Any] = []

@@ -43,16 +43,53 @@ class PushPolicy(enum.Enum):
 
 
 class ObjectDirectory:
-    """Maps object names to server node ids (static hash partitioning)."""
+    """Maps object names to server node ids.
 
-    def __init__(self, server_ids: List[int]) -> None:
+    A thin adapter over a :class:`repro.ring.Ring`: each object hashes
+    (md5-based :func:`repro.ring.stable_hash` — deterministic across
+    interpreter runs, ``PYTHONHASHSEED`` never enters placement) into a
+    partition whose *primary* device is the object's single
+    authoritative server.  Pass ``ring`` to use a custom ring (weighted
+    devices, ``replicas > 1`` for the net stack's replicated placement);
+    by default an equal-weight ring over ``server_ids`` is built with
+    ``part_power`` partition bits and one replica, which preserves the
+    original single-authority semantics the simulator's correctness
+    argument relies on.
+    """
+
+    def __init__(
+        self,
+        server_ids: List[int],
+        part_power: int = 8,
+        replicas: int = 1,
+        ring=None,
+    ) -> None:
         if not server_ids:
             raise ValueError("need at least one server")
         self.server_ids = sorted(server_ids)
+        if ring is None:
+            from repro.ring.ring import uniform_ring
+
+            ring = uniform_ring(
+                len(self.server_ids), part_power=part_power,
+                replicas=replicas, device_ids=self.server_ids,
+            )
+        else:
+            unknown = set(ring.device_ids()) - set(self.server_ids)
+            if unknown:
+                raise ValueError(
+                    f"ring devices {sorted(unknown)} are not in "
+                    f"server_ids {self.server_ids}"
+                )
+        self.ring = ring
 
     def server_for(self, obj: str) -> int:
-        index = hash(obj) % len(self.server_ids)
-        return self.server_ids[index]
+        """The object's authoritative (primary) server."""
+        return self.ring.primary_for(obj)
+
+    def replicas_for(self, obj: str):
+        """All servers holding the object — primary first."""
+        return self.ring.replicas_for(obj)
 
 
 class PhysicalServer(Node):

@@ -1,0 +1,332 @@
+"""Replicated placement over a ring: W-of-N writes, fallback reads,
+delta-bounded anti-entropy.
+
+The lifetime protocol's single-authority argument survives replication
+because the ring's *primary* stays the authority: a write completes only
+once the primary has installed it (the primary's install time is the
+write's effective time), and reads route primary-first.  The replicas
+exist for availability and read spreading; the freshness contract on a
+replica is the timed one — a replica that missed a write must receive it
+within the freshness bound ``delta``, i.e. before the superseded
+version's lifetime ``X_i^omega`` can still satisfy a ``delta``-bounded
+read.  That is what the anti-entropy queue enforces: every fan-out copy
+that failed is re-pushed with a deadline of ``write time + delta``.
+
+The transport is duck-typed so the same engine drives the in-memory
+stores of the tests, the simulator, and the TCP stack's per-device
+:class:`~repro.net.client.NetCacheClient` connections:
+
+    async def write(device_id, obj, value) -> float   # install time
+    async def read(device_id, obj) -> value
+
+Transport failures must surface as exceptions (``ConnectionError``,
+:class:`repro.net.client.NetError`, ...); any exception from a replica
+write queues a repair, any exception from a read triggers fallback to
+the next replica.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.ring.ring import Ring
+
+
+class PlacementError(Exception):
+    """A placement operation could not complete (primary unreachable,
+    every replica failed, ...)."""
+
+
+@dataclass
+class PlacementStats:
+    """Counters a cluster report or bench sums up."""
+
+    writes: int = 0
+    reads: int = 0
+    fallback_reads: int = 0  #: reads served by a non-primary replica
+    replica_acks: int = 0
+    quorum_failures: int = 0  #: writes that finished below the W quorum
+    repairs_queued: int = 0
+    repairs_done: int = 0
+    repairs_late: int = 0  #: repairs completed after their delta deadline
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class WriteOutcome:
+    """One replicated write, as seen by the caller."""
+
+    obj: str
+    value: Any
+    alpha: float  #: the primary's install time (the write's effective time)
+    acked: Dict[int, float]  #: device id -> that device's install time
+    failed: Tuple[int, ...]  #: devices whose copy failed and was queued
+    quorum: int
+
+    @property
+    def quorum_met(self) -> bool:
+        return len(self.acked) >= self.quorum
+
+
+@dataclass
+class ReadOutcome:
+    """One routed read: the value and which device served it."""
+
+    obj: str
+    value: Any
+    device: int
+    fallbacks: int  #: how many replicas failed before this one answered
+
+
+@dataclass
+class RepairTask:
+    """A replica copy that must be re-pushed before ``deadline``."""
+
+    device: int
+    obj: str
+    value: Any
+    created: float
+    deadline: float
+    attempts: int = 0
+
+
+class ReplicatedPlacement:
+    """Primary-plus-replica routing for one ring.
+
+    ``write_quorum`` (W) is the number of acks a write waits for before
+    returning; it defaults to all N replicas of the object's partition.
+    The primary's ack is always required — W only varies how many of the
+    *other* replicas may lag.  Stragglers keep running in the background:
+    a late ack is recorded, a late failure queues an anti-entropy repair
+    with deadline ``write time + delta``.
+
+    ``clock`` supplies "now" for deadlines (defaults to the running event
+    loop's clock); the TCP router passes its reference-synchronized clock
+    so deadlines live on the merged trace's timescale.
+    """
+
+    def __init__(
+        self,
+        ring: Ring,
+        transport: Any,
+        *,
+        write_quorum: Optional[int] = None,
+        delta: float = math.inf,
+        clock: Optional[Callable[[], float]] = None,
+        max_repair_attempts: int = 8,
+    ) -> None:
+        if write_quorum is not None and write_quorum < 1:
+            raise ValueError(f"write_quorum must be >= 1, got {write_quorum}")
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        self.ring = ring
+        self.transport = transport
+        self.write_quorum = write_quorum
+        self.delta = delta
+        self._clock = clock
+        self.max_repair_attempts = max_repair_attempts
+        self.stats = PlacementStats()
+        self.repairs: List[RepairTask] = []
+        self._stragglers: List[asyncio.Task] = []
+
+    def _now(self) -> float:
+        if self._clock is not None:
+            return self._clock()
+        return asyncio.get_event_loop().time()
+
+    def quorum_for(self, n_replicas: int) -> int:
+        if self.write_quorum is None:
+            return n_replicas
+        return min(self.write_quorum, n_replicas)
+
+    # -- writes ---------------------------------------------------------------
+
+    async def write(self, obj: str, value: Any) -> WriteOutcome:
+        """Fan the write out to the object's replica set; W-of-N acks."""
+        self.stats.writes += 1
+        devices = self.ring.replicas_for(obj)
+        primary = devices[0]
+        quorum = self.quorum_for(len(devices))
+        started = self._now()
+        tasks = {
+            asyncio.ensure_future(self.transport.write(dev, obj, value)): dev
+            for dev in devices
+        }
+        acked: Dict[int, float] = {}
+        failed: List[int] = []
+        pending = set(tasks)
+        while pending and not (len(acked) >= quorum and primary in acked):
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                dev = tasks[task]
+                exc = task.exception()
+                if exc is None:
+                    acked[dev] = task.result()
+                    if dev != primary:
+                        self.stats.replica_acks += 1
+                else:
+                    failed.append(dev)
+                    self._queue_repair(dev, obj, value, started)
+        # Stragglers past the quorum run on; their outcome is recorded
+        # (late ack) or repaired (late failure) when they resolve.
+        for task in pending:
+            dev = tasks[task]
+            task.add_done_callback(
+                self._straggler_done(dev, primary, obj, value, started)
+            )
+            self._stragglers.append(task)
+        if primary not in acked:
+            raise PlacementError(
+                f"write of {obj!r} lost its primary (device {primary}); "
+                f"acks from {sorted(acked)}"
+            )
+        if len(acked) < quorum and not pending:
+            self.stats.quorum_failures += 1
+        return WriteOutcome(
+            obj=obj, value=value, alpha=acked[primary],
+            acked=acked, failed=tuple(failed), quorum=quorum,
+        )
+
+    def _straggler_done(
+        self, dev: int, primary: int, obj: str, value: Any, started: float
+    ) -> Callable[[asyncio.Task], None]:
+        def _on_done(task: asyncio.Task) -> None:
+            if task in self._stragglers:
+                self._stragglers.remove(task)
+            if task.cancelled():
+                return
+            if task.exception() is None:
+                if dev != primary:
+                    self.stats.replica_acks += 1
+            else:
+                self._queue_repair(dev, obj, value, started)
+
+        return _on_done
+
+    def _queue_repair(self, dev: int, obj: str, value: Any, started: float) -> None:
+        deadline = started + self.delta if not math.isinf(self.delta) else math.inf
+        # One outstanding repair per (device, object): a newer value
+        # supersedes the queued one.
+        for task in self.repairs:
+            if task.device == dev and task.obj == obj:
+                task.value = value
+                task.created = started
+                task.deadline = deadline
+                task.attempts = 0
+                return
+        self.repairs.append(RepairTask(dev, obj, value, started, deadline))
+        self.stats.repairs_queued += 1
+
+    # -- reads ----------------------------------------------------------------
+
+    async def read(self, obj: str) -> ReadOutcome:
+        """Primary-first read with replica fallback."""
+        self.stats.reads += 1
+        devices = self.ring.replicas_for(obj)
+        errors: List[str] = []
+        for index, dev in enumerate(devices):
+            try:
+                value = await self.transport.read(dev, obj)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # transport failure: try the next replica
+                errors.append(f"device {dev}: {exc!r}")
+                continue
+            if index > 0:
+                self.stats.fallback_reads += 1
+            return ReadOutcome(obj=obj, value=value, device=dev, fallbacks=index)
+        raise PlacementError(
+            f"read of {obj!r} failed on every replica: " + "; ".join(errors)
+        )
+
+    # -- anti-entropy ----------------------------------------------------------
+
+    def pending_repairs(self) -> List[RepairTask]:
+        return list(self.repairs)
+
+    async def repair_once(self) -> int:
+        """One anti-entropy round: re-push every queued copy; returns how
+        many repairs completed.  A repair finishing after its deadline is
+        counted in ``stats.repairs_late`` — the delta bound was missed
+        (fault injection can force this; healthy runs keep it at 0)."""
+        completed = 0
+        for task in list(self.repairs):
+            task.attempts += 1
+            try:
+                await self.transport.write(task.device, task.obj, task.value)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                if task.attempts >= self.max_repair_attempts:
+                    self.repairs.remove(task)  # give up; surfaced in stats
+                continue
+            self.repairs.remove(task)
+            self.stats.repairs_done += 1
+            if self._now() > task.deadline:
+                self.stats.repairs_late += 1
+            completed += 1
+        return completed
+
+    async def anti_entropy_loop(self, period: float) -> None:
+        """Run :meth:`repair_once` forever, every ``period`` seconds."""
+        while True:
+            await asyncio.sleep(period)
+            await self.repair_once()
+
+    async def drain(self) -> None:
+        """Await straggler writes (test/shutdown hygiene)."""
+        while self._stragglers:
+            await asyncio.gather(*list(self._stragglers), return_exceptions=True)
+
+
+class MemoryTransport:
+    """In-process dict-backed stores — the placement engine's test double.
+
+    Each device is a ``{obj: (value, install_time)}`` dict; ``down``
+    devices raise ``ConnectionError``; ``write_delay`` slows one device's
+    writes to exercise W-of-N straggling.
+    """
+
+    def __init__(
+        self,
+        device_ids,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.stores: Dict[int, Dict[str, Tuple[Any, float]]] = {
+            dev: {} for dev in device_ids
+        }
+        self.down: set = set()
+        self.write_delay: Dict[int, float] = {}
+        self._clock = clock
+        self.write_log: List[Tuple[int, str, Any]] = []
+
+    def _now(self) -> float:
+        if self._clock is not None:
+            return self._clock()
+        return asyncio.get_event_loop().time()
+
+    async def write(self, device_id: int, obj: str, value: Any) -> float:
+        delay = self.write_delay.get(device_id, 0.0)
+        if delay:
+            await asyncio.sleep(delay)
+        if device_id in self.down:
+            raise ConnectionError(f"device {device_id} is down")
+        alpha = self._now()
+        self.stores[device_id][obj] = (value, alpha)
+        self.write_log.append((device_id, obj, value))
+        return alpha
+
+    async def read(self, device_id: int, obj: str) -> Any:
+        if device_id in self.down:
+            raise ConnectionError(f"device {device_id} is down")
+        entry = self.stores[device_id].get(obj)
+        if entry is None:
+            raise KeyError(f"device {device_id} has no {obj!r}")
+        return entry[0]

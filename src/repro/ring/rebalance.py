@@ -1,0 +1,155 @@
+"""Ring membership changes and handoff replay.
+
+Growing (or shrinking, or reweighting) a deployment is a three-step
+dance:
+
+1. mutate the builder (``add_device`` / ``remove_device`` /
+   ``set_weight``) and :meth:`~repro.ring.ring.RingBuilder.rebalance` —
+   the builder keeps every still-legal assignment, so the resulting
+   :class:`PartitionMove` list is minimal;
+2. **replay the handoff**: copy every object whose partition moved from
+   the old device to the new one *before* clients start routing by the
+   new ring — a moved partition whose objects were not copied would
+   serve initial values, which the checkers would flag as reads of
+   values older than delta allows;
+3. swap the ring atomically (routers re-read ``replicas_for`` per
+   operation, so swapping the ``ring`` attribute is the cutover).
+
+:class:`Rebalancer` packages the dance; :func:`replay_handoff` performs
+step 2 over any placement transport (memory, simulator stores, TCP).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.ring.ring import Ring, RingBuilder
+
+
+@dataclass(frozen=True)
+class PartitionMove:
+    """One replica slot that changed device in a rebalance."""
+
+    partition: int
+    replica: int  #: slot index within the partition (0 = primary)
+    src: int  #: device that held the slot before
+    dst: int  #: device that holds it now
+
+
+@dataclass
+class HandoffReport:
+    """What a handoff replay actually copied."""
+
+    moves: int
+    partitions_touched: int
+    objects_copied: int
+    objects_missing: int  #: moved objects the source had never stored
+
+
+def diff_rings(old: Ring, new: Ring) -> List[PartitionMove]:
+    """The slot-level difference between two rings of the same shape."""
+    if old.partitions != new.partitions or old.replicas != new.replicas:
+        raise ValueError(
+            "rings differ in shape: "
+            f"{old.partitions}x{old.replicas} vs {new.partitions}x{new.replicas}"
+        )
+    moves = []
+    for part in range(old.partitions):
+        before, after = old.assignment[part], new.assignment[part]
+        for r in range(old.replicas):
+            if before[r] != after[r]:
+                moves.append(PartitionMove(part, r, before[r], after[r]))
+    return moves
+
+
+async def replay_handoff(
+    moves: Iterable[PartitionMove],
+    objects: Iterable[str],
+    old_ring: Ring,
+    transport: Any,
+) -> HandoffReport:
+    """Copy every moved object from its old device to its new one.
+
+    ``objects`` enumerates the namespace (the deployment's object
+    catalog); each object is copied once per move of its partition.  A
+    source read failure for an object the device never stored is counted
+    but not fatal — the destination will serve the initial value, which
+    is only correct for never-written objects, hence the counter.
+    """
+    moves = list(moves)
+    by_partition: Dict[int, List[PartitionMove]] = {}
+    for move in moves:
+        by_partition.setdefault(move.partition, []).append(move)
+    copied = missing = 0
+    touched = set()
+    for obj in objects:
+        part = old_ring.partition_for(obj)
+        for move in by_partition.get(part, ()):
+            touched.add(part)
+            try:
+                value = await transport.read(move.src, obj)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                missing += 1
+                continue
+            await transport.write(move.dst, obj, value)
+            copied += 1
+    return HandoffReport(
+        moves=len(moves),
+        partitions_touched=len(touched),
+        objects_copied=copied,
+        objects_missing=missing,
+    )
+
+
+class Rebalancer:
+    """Builder mutations + minimal-move computation + handoff, in one place.
+
+    Keeps the *current* ring; every mutation returns ``(new_ring,
+    moves)`` where ``moves`` is the exact slot-level diff.  The caller
+    replays the handoff and then swaps its routers onto ``new_ring``.
+    """
+
+    def __init__(self, builder: RingBuilder, ring: Optional[Ring] = None) -> None:
+        self.builder = builder
+        if ring is None:
+            ring, _ = builder.rebalance()
+        self.ring = ring
+
+    def _apply(
+        self, mutate: Callable[[RingBuilder], None]
+    ) -> Tuple[Ring, List[PartitionMove]]:
+        mutate(self.builder)
+        new_ring, _ = self.builder.rebalance()
+        moves = diff_rings(self.ring, new_ring)
+        self.ring = new_ring
+        return new_ring, moves
+
+    def add_device(
+        self,
+        dev_id: Optional[int] = None,
+        weight: float = 1.0,
+        zone: int = 0,
+        address: str = "",
+    ) -> Tuple[Ring, List[PartitionMove]]:
+        return self._apply(
+            lambda b: b.add_device(dev_id, weight=weight, zone=zone, address=address)
+        )
+
+    def remove_device(self, dev_id: int) -> Tuple[Ring, List[PartitionMove]]:
+        return self._apply(lambda b: b.remove_device(dev_id))
+
+    def set_weight(self, dev_id: int, weight: float) -> Tuple[Ring, List[PartitionMove]]:
+        return self._apply(lambda b: b.set_weight(dev_id, weight))
+
+    async def handoff(
+        self,
+        moves: Iterable[PartitionMove],
+        objects: Iterable[str],
+        old_ring: Ring,
+        transport: Any,
+    ) -> HandoffReport:
+        return await replay_handoff(moves, objects, old_ring, transport)

@@ -104,3 +104,137 @@ class TestSyncedClock:
         clock._local = RebasedClock(source=lambda: next(ticks), offset=0.25)
         assert clock.local() == pytest.approx(0.25)
         assert clock.skew == 0.25
+
+
+class _FlakyServer:
+    """A handshake-speaking server that tears down its first N accepts.
+
+    ``fail_point`` selects where the teardown happens: ``"sync"`` closes
+    mid-clock-sync (the satellite's motivating failure), ``"hello"``
+    before the HELLO_ACK.
+    """
+
+    def __init__(self, fail_first: int, fail_point: str = "sync") -> None:
+        self.fail_first = fail_first
+        self.fail_point = fail_point
+        self.accepts = 0
+        self._server = None
+
+    async def start(self):
+        import asyncio
+
+        self._server = await asyncio.start_server(
+            self._handle, "127.0.0.1", 0
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self):
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def _handle(self, reader, writer):
+        import asyncio
+
+        from repro.net.framing import (
+            HELLO_ACK,
+            SYNC,
+            SYNC_ACK,
+            FrameConnection,
+        )
+
+        self.accepts += 1
+        failing = self.accepts <= self.fail_first
+        conn = FrameConnection(reader, writer)
+        try:
+            await conn.recv()  # HELLO
+            if failing and self.fail_point == "hello":
+                return
+            await conn.send({"kind": HELLO_ACK, "version": 1})
+            while True:
+                frame = await conn.recv()
+                if frame is None:
+                    return
+                if frame.get("kind") == SYNC:
+                    if failing:
+                        return  # close mid-sync: the motivating failure
+                    now = asyncio.get_event_loop().time()
+                    await conn.send({
+                        "kind": SYNC_ACK,
+                        "t0": frame["t0"], "t1": now, "t2": now,
+                    })
+        finally:
+            await conn.close()
+
+
+@pytest.mark.net
+class TestHandshakeRetry:
+    """Satellite: one bad sync round must not hard-fail the client."""
+
+    def _connect(self, fail_first, fail_point="sync", sync_retries=3):
+        import asyncio
+
+        from repro.net.client import NetCacheClient
+
+        async def _run():
+            server = await _FlakyServer(fail_first, fail_point).start()
+            try:
+                client = NetCacheClient(
+                    0, "127.0.0.1", server.port, sync_retries=sync_retries
+                )
+                await client.connect()
+                synced = client.clock.estimator.synchronized
+                await client.close()
+                return server.accepts, synced
+            finally:
+                await server.close()
+
+        return asyncio.run(_run())
+
+    def test_recovers_from_flaky_sync_rounds(self):
+        accepts, synced = self._connect(fail_first=2)
+        assert accepts == 3  # two torn connections, then success
+        assert synced
+
+    def test_recovers_from_close_before_hello_ack(self):
+        accepts, synced = self._connect(fail_first=1, fail_point="hello")
+        assert accepts == 2
+        assert synced
+
+    def test_clean_neterror_after_retries_exhausted(self):
+        import asyncio
+
+        from repro.net.client import NetCacheClient, NetError
+
+        async def _run():
+            server = await _FlakyServer(fail_first=99).start()
+            try:
+                client = NetCacheClient(
+                    0, "127.0.0.1", server.port, sync_retries=1
+                )
+                with pytest.raises(NetError, match="after 2 attempts"):
+                    await client.connect()
+                assert client.conn is None  # no half-open connection left
+                return server.accepts
+            finally:
+                await server.close()
+
+        assert asyncio.run(_run()) == 2
+
+    def test_zero_retries_fails_on_first_tear(self):
+        import asyncio
+
+        from repro.net.client import NetCacheClient, NetError
+
+        async def _run():
+            server = await _FlakyServer(fail_first=1).start()
+            try:
+                client = NetCacheClient(
+                    0, "127.0.0.1", server.port, sync_retries=0
+                )
+                with pytest.raises(NetError, match="after 1 attempts"):
+                    await client.connect()
+            finally:
+                await server.close()
+
+        asyncio.run(_run())

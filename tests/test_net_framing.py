@@ -87,3 +87,56 @@ class TestStreamReading:
         header = struct.pack(">I", MAX_FRAME_BYTES + 1)
         with pytest.raises(FrameError, match="exceeds"):
             read_all(header)
+
+
+# ``{"blob":""}`` is 11 bytes of JSON scaffolding around the blob, so a
+# blob of MAX_FRAME_BYTES - 11 characters fills a frame to the byte.
+_SCAFFOLDING = len('{"blob":""}')
+
+
+class TestFrameLimits:
+    """The MAX_FRAME_BYTES boundary, exactly."""
+
+    def test_exactly_max_frame_roundtrips(self):
+        message = {"blob": "x" * (MAX_FRAME_BYTES - _SCAFFOLDING)}
+        data = encode_frame(message)
+        (length,) = struct.unpack(">I", data[:4])
+        assert length == MAX_FRAME_BYTES
+        assert read_all(data) == [message]
+
+    def test_one_byte_over_max_rejected_on_encode(self):
+        message = {"blob": "x" * (MAX_FRAME_BYTES - _SCAFFOLDING + 1)}
+        with pytest.raises(FrameError, match="exceeds"):
+            encode_frame(message)
+
+    @pytest.mark.net
+    def test_oversized_announcement_closes_connection_without_wedging_peer(self):
+        """A client announcing an impossible frame length is disconnected;
+        the server survives and keeps serving other clients."""
+        from repro.net.client import NetCacheClient
+        from repro.net.server import NetObjectServer
+
+        async def _scenario():
+            server = await NetObjectServer("127.0.0.1", 0,
+                                           propagation="none").start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(struct.pack(">I", MAX_FRAME_BYTES + 1))
+                await writer.drain()
+                # The server must close *this* connection (EOF), not hang
+                # trying to buffer a gigabyte that never comes.
+                eof = await asyncio.wait_for(reader.read(), timeout=2.0)
+                writer.close()
+                await writer.wait_closed()
+                # ... and a well-behaved client still gets service.
+                async with NetCacheClient(0, "127.0.0.1", server.port) as client:
+                    await client.write("x", "v1")
+                    assert await client.read("x") == "v1"
+            finally:
+                await server.close()
+            return eof
+
+        eof = asyncio.run(_scenario())
+        assert eof == b"" or eof.startswith(b"\x00")  # EOF (maybe after an error frame)

@@ -1,0 +1,198 @@
+"""Unit tests for the consistent-hash ring and its builder."""
+
+import math
+
+import pytest
+
+from repro.ring import (
+    Device,
+    PartitionMove,
+    Rebalancer,
+    Ring,
+    RingBuilder,
+    diff_rings,
+    stable_hash,
+)
+from repro.ring.ring import uniform_ring
+
+
+class TestStableHash:
+    def test_known_vector(self):
+        # md5("x")[:8] big-endian — pinned so any hash change is loud:
+        # every persisted ring file depends on it.
+        assert stable_hash("x") == 0x9DD4E461268C8034
+
+    def test_deterministic_across_calls(self):
+        assert stable_hash("account/container/object") == stable_hash(
+            "account/container/object"
+        )
+
+    def test_distinct_names_scatter(self):
+        hashes = {stable_hash(f"obj{i}") for i in range(200)}
+        assert len(hashes) == 200
+
+
+class TestRing:
+    def test_partition_in_range(self):
+        ring = uniform_ring(3, part_power=6)
+        for i in range(100):
+            assert 0 <= ring.partition_for(f"o{i}") < 64
+
+    def test_primary_is_first_replica(self):
+        ring = uniform_ring(4, part_power=6, replicas=3)
+        for i in range(50):
+            obj = f"o{i}"
+            assert ring.primary_for(obj) == ring.replicas_for(obj)[0]
+
+    def test_replicas_are_distinct_devices(self):
+        ring = uniform_ring(4, part_power=6, replicas=3)
+        for slots in ring.assignment:
+            assert len(set(slots)) == len(slots) == 3
+
+    def test_identical_builds_agree(self):
+        a, b = uniform_ring(5, part_power=7, replicas=2), uniform_ring(
+            5, part_power=7, replicas=2
+        )
+        assert a.assignment == b.assignment
+
+    def test_uniform_load_within_ceiling(self):
+        ring = uniform_ring(3, part_power=8, replicas=2)
+        target = 256 * 2 / 3
+        for count in ring.load().values():
+            assert count <= math.ceil(target)
+
+    def test_weighted_device_gets_proportional_share(self):
+        builder = RingBuilder(part_power=8, replicas=1)
+        builder.add_device(0, weight=1.0)
+        builder.add_device(1, weight=3.0)
+        ring, _ = builder.rebalance()
+        load = ring.load()
+        assert load[1] == pytest.approx(3 * load[0], rel=0.05)
+
+    def test_zero_weight_device_gets_nothing(self):
+        builder = RingBuilder(part_power=6, replicas=1)
+        builder.add_device(0)
+        builder.add_device(1, weight=0.0)
+        ring, _ = builder.rebalance()
+        assert 1 not in ring.load()
+
+    def test_roundtrip_through_json(self, tmp_path):
+        ring = uniform_ring(3, part_power=5, replicas=2,
+                            addresses=["a:1", "b:2", "c:3"])
+        path = tmp_path / "demo.ring"
+        ring.save(path)
+        loaded = Ring.load_file(path)
+        assert loaded.assignment == ring.assignment
+        assert loaded.device(1).address == "b:2"
+        for i in range(20):
+            assert loaded.replicas_for(f"o{i}") == ring.replicas_for(f"o{i}")
+
+
+class TestRingBuilder:
+    def test_needs_replicas_devices(self):
+        builder = RingBuilder(part_power=4, replicas=3)
+        builder.add_device(0)
+        builder.add_device(1)
+        with pytest.raises(ValueError, match="at least 3"):
+            builder.rebalance()
+
+    def test_rejects_bad_part_power(self):
+        with pytest.raises(ValueError):
+            RingBuilder(part_power=0)
+        with pytest.raises(ValueError):
+            RingBuilder(part_power=33)
+
+    def test_rejects_duplicate_device(self):
+        builder = RingBuilder(part_power=4)
+        builder.add_device(0)
+        with pytest.raises(ValueError, match="already"):
+            builder.add_device(0)
+
+    def test_auto_ids_are_sequential(self):
+        builder = RingBuilder(part_power=4)
+        assert [builder.add_device() for _ in range(3)] == [0, 1, 2]
+
+    def test_remove_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            RingBuilder(part_power=4).remove_device(7)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Device(0, weight=-1.0)
+
+    def test_builder_roundtrip_preserves_assignment(self, tmp_path):
+        builder = RingBuilder(part_power=6, replicas=2)
+        for i in range(3):
+            builder.add_device(i)
+        ring, _ = builder.rebalance()
+        path = tmp_path / "demo.builder"
+        builder.save(path)
+        reloaded = RingBuilder.load_file(path)
+        ring2, moved = reloaded.rebalance()
+        assert moved == 0  # a loaded builder rebalances to the same ring
+        assert ring2.assignment == ring.assignment
+
+
+class TestMinimalMoves:
+    """Adding/removing/reweighting moves only the partitions it must."""
+
+    def _builder(self, n=3, replicas=2, part_power=7):
+        builder = RingBuilder(part_power, replicas)
+        for i in range(n):
+            builder.add_device(i)
+        builder.rebalance()
+        return builder
+
+    def test_add_device_moves_only_to_the_new_device(self):
+        builder = self._builder()
+        rebalancer = Rebalancer(builder)
+        new_ring, moves = rebalancer.add_device()
+        assert moves  # the new device did receive load
+        assert all(m.dst == 3 for m in moves)
+        assert len(moves) == new_ring.load()[3]
+        # ... and no more than its fair ceiling.
+        assert len(moves) <= math.ceil(128 * 2 / 4)
+
+    def test_remove_device_moves_only_its_partitions(self):
+        builder = self._builder(n=4)
+        rebalancer = Rebalancer(builder)
+        held = rebalancer.ring.load()[2]
+        _, moves = rebalancer.remove_device(2)
+        assert all(m.src == 2 for m in moves)
+        assert len(moves) == held
+
+    def test_reweight_up_moves_only_toward_the_device(self):
+        builder = self._builder()
+        rebalancer = Rebalancer(builder)
+        _, moves = rebalancer.set_weight(1, 2.0)
+        assert moves
+        assert all(m.dst == 1 for m in moves)
+
+    def test_reweight_down_moves_only_away_from_the_device(self):
+        builder = self._builder()
+        rebalancer = Rebalancer(builder)
+        _, moves = rebalancer.set_weight(1, 0.5)
+        assert moves
+        assert all(m.src == 1 for m in moves)
+
+    def test_moved_slot_count_matches_diff(self):
+        builder = self._builder()
+        ring, _ = builder.rebalance()
+        builder.add_device(3)
+        new_ring, moved = builder.rebalance()
+        assert moved == len(diff_rings(ring, new_ring))
+
+    def test_sequential_growth_stays_minimal(self):
+        builder = self._builder(n=2, replicas=1)
+        rebalancer = Rebalancer(builder)
+        for next_id in (2, 3, 4):
+            _, moves = rebalancer.add_device()
+            assert all(m.dst == next_id for m in moves)
+
+    def test_diff_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            diff_rings(uniform_ring(2, part_power=4), uniform_ring(2, part_power=5))
+
+    def test_partition_move_fields(self):
+        move = PartitionMove(partition=5, replica=1, src=0, dst=2)
+        assert (move.partition, move.replica, move.src, move.dst) == (5, 1, 0, 2)

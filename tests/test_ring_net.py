@@ -1,0 +1,151 @@
+"""The tentpole acceptance tests: a real multi-server TCP cluster,
+ring-routed and replicated, whose merged trace passes the timed
+checkers — including across a live rebalance + handoff."""
+
+import asyncio
+import math
+
+import pytest
+
+from repro.net.ring_demo import ring_cluster, run_ring_soak
+from repro.net.ring_router import RingRouter
+from repro.net.server import NetObjectServer
+from repro.ring import uniform_ring
+
+pytestmark = pytest.mark.net
+
+
+class TestRingSoak:
+    def test_three_servers_two_replicas_trace_is_tsc(self):
+        report = run_ring_soak(
+            n_servers=3, replicas=2, n_clients=2, rounds=15, delta=0.4, seed=7
+        )
+        assert report.tsc.satisfied, report.tsc.violation
+        assert report.sc.satisfied
+        assert report.off_ring_reads == 0
+        assert not report.late_reads
+        assert math.isfinite(report.epsilon)
+        # The workload really was multi-server: several devices served.
+        assert len(report.reads_by_device) >= 2
+        assert len([d for d, n in report.server_requests.items() if n]) == 3
+
+    def test_trace_satisfies_tcc_as_well(self):
+        report = run_ring_soak(
+            n_servers=3, replicas=2, n_clients=2, rounds=12, delta=0.4, seed=3
+        )
+        assert report.tcc.satisfied, report.tcc.violation
+
+    def test_spread_reads_stay_timed(self):
+        # Round-robin reads over the replica set: freshness is carried by
+        # the full-N write fan-out, so the trace must still check out.
+        report = run_ring_soak(
+            n_servers=3, replicas=2, n_clients=2, rounds=15, delta=0.4,
+            read_policy="spread", seed=9,
+        )
+        assert report.tsc.satisfied, report.tsc.violation
+        assert report.off_ring_reads == 0
+
+    def test_write_quorum_one_stays_timed_after_drain(self):
+        report = run_ring_soak(
+            n_servers=3, replicas=2, n_clients=2, rounds=12, delta=0.4,
+            write_quorum=1, seed=5,
+        )
+        assert report.tsc.satisfied, report.tsc.violation
+        queued, done, late = report.repairs()
+        assert late == 0  # no repair missed its delta deadline
+
+
+class TestGrowthHandoff:
+    def test_midrun_growth_keeps_the_trace_timed(self):
+        report = run_ring_soak(
+            n_servers=3, replicas=2, n_clients=2, rounds=14, delta=0.4,
+            add_device_midway=True, seed=7,
+        )
+        # Minimal moves: the joiner only ever receives slots.
+        assert report.moves
+        assert all(m.dst == 3 for m in report.moves)
+        assert report.handoff is not None
+        assert report.handoff.objects_missing == 0
+        # Reads kept flowing during the copy and after the cutover, and
+        # none of them — checker-verified — was older than delta allows.
+        assert report.tsc.satisfied, report.tsc.violation
+        assert report.off_ring_reads == 0
+        assert not report.late_reads
+        assert report.ring.device_ids() == [0, 1, 2, 3]
+
+
+class TestRingRouterUnit:
+    def test_missing_endpoint_rejected(self):
+        ring = uniform_ring(2, part_power=4)
+        with pytest.raises(ValueError, match="no endpoint"):
+            RingRouter(0, ring, {0: ("127.0.0.1", 1)})
+
+    def test_bad_read_policy_rejected(self):
+        ring = uniform_ring(1, part_power=4)
+        with pytest.raises(ValueError, match="read_policy"):
+            RingRouter(0, ring, {0: ("h", 1)}, read_policy="nearest")
+
+    def test_swap_requires_connected_devices(self):
+        ring = uniform_ring(2, part_power=4)
+        router = RingRouter(0, ring, {0: ("h", 1), 1: ("h", 2)})
+        grown = uniform_ring(3, part_power=4)
+        with pytest.raises(ValueError, match="not connected"):
+            router.swap_ring(grown)
+
+    def test_epsilon_composes_across_device_estimators(self):
+        ring = uniform_ring(2, part_power=4)
+
+        async def scenario():
+            servers = [
+                await NetObjectServer("127.0.0.1", 0, propagation="none").start()
+                for _ in range(2)
+            ]
+            endpoints = {i: ("127.0.0.1", servers[i].port) for i in range(2)}
+            try:
+                async with RingRouter(0, ring, endpoints, delta=1.0) as router:
+                    errs = {
+                        dev: client.clock.estimator.error_bound
+                        for dev, client in router.clients.items()
+                    }
+                    expected = 2.0 * (errs[router.reference] + max(errs.values()))
+                    assert router.epsilon_bound == pytest.approx(expected)
+                    # The reference device rebases onto itself exactly.
+                    assert router.offset_to_reference(router.reference) == 0.0
+            finally:
+                for server in servers:
+                    await server.close()
+
+        asyncio.run(scenario())
+
+    def test_reads_and_writes_route_within_the_replica_set(self):
+        ring = uniform_ring(3, part_power=5, replicas=2)
+
+        async def scenario():
+            servers = [
+                await NetObjectServer("127.0.0.1", 0, propagation="none").start()
+                for _ in range(3)
+            ]
+            endpoints = {i: ("127.0.0.1", servers[i].port) for i in range(3)}
+            try:
+                async with RingRouter(0, ring, endpoints, delta=1.0) as router:
+                    for i in range(10):
+                        await router.write(f"obj{i}", f"v{i}")
+                        assert await router.read(f"obj{i}") == f"v{i}"
+                    for i in range(10):
+                        replicas = set(ring.replicas_for(f"obj{i}"))
+                        # every copy landed inside the replica set
+                        for dev, server in enumerate(servers):
+                            if f"obj{i}" in server.store:
+                                assert dev in replicas
+                    assert router.stats.off_ring_reads == 0
+            finally:
+                for server in servers:
+                    await server.close()
+
+        asyncio.run(scenario())
+
+
+class TestRingSoakCoroutine:
+    def test_ring_cluster_rejects_impossible_replication(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            asyncio.run(ring_cluster(n_servers=2, replicas=3, rounds=1))

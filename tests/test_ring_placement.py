@@ -1,0 +1,252 @@
+"""Replicated placement: W-of-N writes, fallback reads, anti-entropy,
+and handoff replay — all over the in-memory transport."""
+
+import asyncio
+
+import pytest
+
+from repro.ring import (
+    MemoryTransport,
+    PlacementError,
+    Rebalancer,
+    ReplicatedPlacement,
+    replay_handoff,
+)
+from repro.ring.ring import RingBuilder, uniform_ring
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_placement(n=3, replicas=2, part_power=5, **kwargs):
+    ring = uniform_ring(n, part_power=part_power, replicas=replicas)
+    transport = MemoryTransport(ring.device_ids())
+    return ring, transport, ReplicatedPlacement(ring, transport, **kwargs)
+
+
+class TestWrites:
+    def test_write_reaches_every_replica(self):
+        ring, transport, placement = make_placement()
+
+        async def scenario():
+            outcome = await placement.write("obj", "v1")
+            await placement.drain()
+            return outcome
+
+        outcome = run(scenario())
+        replicas = ring.replicas_for("obj")
+        assert sorted(outcome.acked) == sorted(replicas)
+        assert outcome.quorum_met
+        for dev in replicas:
+            assert transport.stores[dev]["obj"][0] == "v1"
+
+    def test_alpha_is_the_primary_install_time(self):
+        ring, transport, placement = make_placement()
+
+        async def scenario():
+            outcome = await placement.write("obj", "v1")
+            await placement.drain()
+            return outcome
+
+        outcome = run(scenario())
+        primary = ring.primary_for("obj")
+        assert outcome.alpha == transport.stores[primary]["obj"][1]
+
+    def test_quorum_one_returns_before_slow_replica(self):
+        ring, transport, placement = make_placement(write_quorum=1)
+        replica = ring.replicas_for("obj")[1]
+        transport.write_delay[replica] = 0.1
+
+        async def scenario():
+            loop = asyncio.get_event_loop()
+            started = loop.time()
+            await placement.write("obj", "v1")
+            quick = loop.time() - started
+            assert replica not in transport.stores or \
+                "obj" not in transport.stores[replica]
+            await placement.drain()  # straggler lands eventually
+            return quick
+
+        quick = run(scenario())
+        assert quick < 0.1
+        assert transport.stores[replica]["obj"][0] == "v1"
+        assert placement.stats.replica_acks == 1
+
+    def test_primary_failure_is_fatal(self):
+        ring, transport, placement = make_placement()
+        transport.down.add(ring.primary_for("obj"))
+        with pytest.raises(PlacementError, match="primary"):
+            run(placement.write("obj", "v1"))
+
+    def test_replica_failure_queues_repair(self):
+        ring, transport, placement = make_placement(delta=0.5)
+        replica = ring.replicas_for("obj")[1]
+        transport.down.add(replica)
+
+        async def scenario():
+            outcome = await placement.write("obj", "v1")
+            await placement.drain()
+            return outcome
+
+        outcome = run(scenario())
+        assert outcome.quorum_met is False or replica in outcome.failed
+        [task] = placement.pending_repairs()
+        assert (task.device, task.obj, task.value) == (replica, "obj", "v1")
+        assert task.deadline == pytest.approx(task.created + 0.5)
+
+
+class TestReads:
+    def test_read_prefers_primary(self):
+        ring, transport, placement = make_placement()
+
+        async def scenario():
+            await placement.write("obj", "v1")
+            await placement.drain()
+            return await placement.read("obj")
+
+        outcome = run(scenario())
+        assert outcome.device == ring.primary_for("obj")
+        assert outcome.value == "v1"
+        assert outcome.fallbacks == 0
+
+    def test_fallback_to_replica_when_primary_down(self):
+        ring, transport, placement = make_placement()
+
+        async def scenario():
+            await placement.write("obj", "v1")
+            await placement.drain()
+            transport.down.add(ring.primary_for("obj"))
+            return await placement.read("obj")
+
+        outcome = run(scenario())
+        assert outcome.device == ring.replicas_for("obj")[1]
+        assert outcome.fallbacks == 1
+        assert placement.stats.fallback_reads == 1
+
+    def test_all_replicas_down_raises(self):
+        ring, transport, placement = make_placement()
+        transport.down.update(ring.replicas_for("obj"))
+        with pytest.raises(PlacementError, match="every replica"):
+            run(placement.read("obj"))
+
+
+class TestAntiEntropy:
+    def test_repair_completes_once_device_recovers(self):
+        ring, transport, placement = make_placement(delta=5.0)
+        replica = ring.replicas_for("obj")[1]
+
+        async def scenario():
+            transport.down.add(replica)
+            await placement.write("obj", "v1")
+            await placement.drain()
+            assert await placement.repair_once() == 0  # still down
+            transport.down.discard(replica)
+            assert await placement.repair_once() == 1
+
+        run(scenario())
+        assert transport.stores[replica]["obj"][0] == "v1"
+        assert placement.stats.repairs_done == 1
+        assert placement.stats.repairs_late == 0
+        assert not placement.pending_repairs()
+
+    def test_repair_past_deadline_counts_late(self):
+        now = [0.0]
+        ring = uniform_ring(3, part_power=5, replicas=2)
+        transport = MemoryTransport(ring.device_ids(), clock=lambda: now[0])
+        placement = ReplicatedPlacement(
+            ring, transport, delta=0.2, clock=lambda: now[0]
+        )
+        replica = ring.replicas_for("obj")[1]
+
+        async def scenario():
+            transport.down.add(replica)
+            await placement.write("obj", "v1")
+            await placement.drain()
+            now[0] = 1.0  # well past created + delta
+            transport.down.discard(replica)
+            await placement.repair_once()
+
+        run(scenario())
+        assert placement.stats.repairs_done == 1
+        assert placement.stats.repairs_late == 1
+
+    def test_newer_value_supersedes_queued_repair(self):
+        ring, transport, placement = make_placement(delta=5.0)
+        replica = ring.replicas_for("obj")[1]
+
+        async def scenario():
+            transport.down.add(replica)
+            await placement.write("obj", "v1")
+            await placement.write("obj", "v2")
+            await placement.drain()
+            assert len(placement.pending_repairs()) == 1
+            transport.down.discard(replica)
+            await placement.repair_once()
+
+        run(scenario())
+        assert transport.stores[replica]["obj"][0] == "v2"
+
+    def test_repair_gives_up_after_max_attempts(self):
+        ring, transport, placement = make_placement(
+            delta=5.0, max_repair_attempts=2
+        )
+        replica = ring.replicas_for("obj")[1]
+
+        async def scenario():
+            transport.down.add(replica)
+            await placement.write("obj", "v1")
+            await placement.drain()
+            await placement.repair_once()
+            await placement.repair_once()
+
+        run(scenario())
+        assert not placement.pending_repairs()
+        assert placement.stats.repairs_done == 0
+
+
+class TestHandoff:
+    def _grown(self):
+        builder = RingBuilder(part_power=6, replicas=2)
+        for i in range(3):
+            builder.add_device(i)
+        rebalancer = Rebalancer(builder)
+        old_ring = rebalancer.ring
+        transport = MemoryTransport([0, 1, 2, 3])
+        return rebalancer, old_ring, transport
+
+    def test_replay_copies_every_moved_object(self):
+        rebalancer, old_ring, transport = self._grown()
+        objects = [f"o{i}" for i in range(40)]
+
+        async def scenario():
+            placement = ReplicatedPlacement(old_ring, transport)
+            for obj in objects:
+                await placement.write(obj, f"{obj}.v1")
+            await placement.drain()
+            new_ring, moves = rebalancer.add_device(3)
+            report = await replay_handoff(moves, objects, old_ring, transport)
+            return new_ring, moves, report
+
+        new_ring, moves, report = run(scenario())
+        assert all(m.dst == 3 for m in moves)  # minimal: only the joiner
+        assert report.objects_missing == 0
+        # Every object now lives on its *new* replica set.
+        for obj in objects:
+            for dev in new_ring.replicas_for(obj):
+                assert transport.stores[dev][obj][0] == f"{obj}.v1"
+
+    def test_unwritten_objects_count_as_missing(self):
+        rebalancer, old_ring, transport = self._grown()
+
+        async def scenario():
+            _, moves = rebalancer.add_device(3)
+            # Nothing was ever written: every moved object is "missing".
+            return await replay_handoff(
+                moves, ["never-written"], old_ring, transport
+            )
+
+        report = run(scenario())
+        touched = report.partitions_touched
+        assert report.objects_copied == 0
+        assert (report.objects_missing > 0) == (touched > 0)
