@@ -14,7 +14,9 @@ Commands:
 * ``net-demo`` — in-process TCP cluster with clock skew and fault
   injection, checker-verified (docs/NET_PROTOCOL.md);
 * ``ring build/add/rebalance/serve-set/soak`` — consistent-hash ring
-  management and the multi-server replicated deployment (docs/RING.md).
+  management and the multi-server replicated deployment (docs/RING.md);
+* ``obs dump/serve/diff`` — registry snapshots, the static ``/metrics``
+  server, and counter deltas (docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -286,10 +288,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
     recorder = TraceRecorder() if args.trace else None
 
     async def _serve() -> None:
+        registry = None
+        if args.metrics_port is not None:
+            from repro.obs.metrics import Registry
+
+            registry = Registry()
         server = NetObjectServer(
             args.host, args.port,
             propagation=args.propagation, latency=args.latency,
             recorder=recorder,
+            registry=registry,
+            metric_labels={"role": "server"} if registry is not None else None,
         )
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -299,12 +308,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
             except (NotImplementedError, RuntimeError):
                 pass  # non-main thread or unsupported platform
         await server.start()
+        metrics = None
+        if registry is not None:
+            from repro.obs.expo import MetricsServer
+
+            metrics = await MetricsServer(
+                registry, args.host, args.metrics_port,
+                health=lambda: server.healthy,
+            ).start()
+            print(f"metrics on http://{metrics.address}/metrics")
         print(f"serving on {server.address} "
               f"(propagation={args.propagation}); SIGINT/SIGTERM to stop")
         try:
             await stop.wait()
         finally:
-            await server.close()
+            # Graceful drain: finish in-flight replies, say bye, close;
+            # /healthz flips to 503 the moment the drain starts.
+            await server.shutdown(grace=args.grace)
+            if metrics is not None:
+                await metrics.close()
 
     try:
         asyncio.run(_serve())
@@ -544,6 +566,13 @@ def cmd_ring_serve_set(args: argparse.Namespace) -> int:
     ring = Ring.load_file(args.ring)
 
     async def _serve() -> None:
+        registry = None
+        if args.metrics_port is not None:
+            from repro.obs.metrics import Registry
+
+            # One shared registry; per-device collectors differentiate
+            # by a device=<id> label.
+            registry = Registry()
         servers = []
         for index, dev_id in enumerate(ring.device_ids()):
             address = ring.device(dev_id).address
@@ -552,7 +581,12 @@ def cmd_ring_serve_set(args: argparse.Namespace) -> int:
                 host, port = host or args.host, int(port)
             else:
                 host, port = args.host, args.base_port + index
-            server = NetObjectServer(host, port, propagation=args.propagation)
+            server = NetObjectServer(
+                host, port, propagation=args.propagation,
+                registry=registry,
+                metric_labels={"device": dev_id} if registry is not None
+                else None,
+            )
             await server.start()
             servers.append(server)
             print(f"device {dev_id}: serving on {server.address}")
@@ -563,12 +597,23 @@ def cmd_ring_serve_set(args: argparse.Namespace) -> int:
                 loop.add_signal_handler(sig, stop.set)
             except (NotImplementedError, RuntimeError):
                 pass
+        metrics = None
+        if registry is not None:
+            from repro.obs.expo import MetricsServer
+
+            metrics = await MetricsServer(
+                registry, args.host, args.metrics_port,
+                health=lambda: all(s.healthy for s in servers),
+            ).start()
+            print(f"metrics on http://{metrics.address}/metrics")
         print("SIGINT/SIGTERM to stop")
         try:
             await stop.wait()
         finally:
-            for server in servers:
-                await server.close()
+            await asyncio.gather(*(s.shutdown(grace=args.grace)
+                                   for s in servers))
+            if metrics is not None:
+                await metrics.close()
 
     try:
         asyncio.run(_serve())
@@ -580,6 +625,15 @@ def cmd_ring_serve_set(args: argparse.Namespace) -> int:
 def cmd_ring_soak(args: argparse.Namespace) -> int:
     from repro.net.ring_demo import run_ring_soak
 
+    registry = None
+    if (args.metrics_port is not None or args.metrics_snapshot
+            or args.metrics):
+        from repro.obs.metrics import Registry
+
+        registry = Registry()
+        if args.metrics_port is not None:
+            print(f"metrics on http://127.0.0.1:{args.metrics_port}/metrics "
+                  "for the soak's duration")
     report = run_ring_soak(
         n_servers=args.servers, replicas=args.replicas,
         n_clients=args.clients, part_power=args.part_power,
@@ -588,6 +642,7 @@ def cmd_ring_soak(args: argparse.Namespace) -> int:
         server_skew=args.server_skew, seed=args.seed,
         write_quorum=args.quorum, read_policy=args.read_policy,
         add_device_midway=args.grow,
+        registry=registry, metrics_port=args.metrics_port,
     )
     rows = []
     load = report.ring.load()
@@ -625,7 +680,112 @@ def cmd_ring_soak(args: argparse.Namespace) -> int:
     if checked.violation:
         print(f"  {checked.violation}")
     ok = checked.satisfied and report.off_ring_reads == 0
+    if report.ontime is not None:
+        o = report.ontime
+        judged = o["reads_on_time"] + o["reads_late"]
+        print(f"\nlive instruments: on-time ratio "
+              f"{o['ontime_ratio']:.4f} ({o['reads_on_time']}/{judged} "
+              f"judged, {o['reads_unjudged']} outside the window), "
+              f"epsilon={o['epsilon']:.6f}s, "
+              f"visibility lag p99={o['lag_p99']:.4f}s")
+        # The online judgement must agree with the offline Definition-2
+        # verdicts: zero late reads online iff the offline checker
+        # flagged none.  Unjudged reads (writer evicted from the bounded
+        # window) are the documented tolerance and count neither way.
+        offline_late = len(report.late_reads)
+        agree = (o["reads_late"] == 0) == (offline_late == 0)
+        print(f"online/offline agreement: "
+              f"{'AGREE' if agree else 'DISAGREE'} "
+              f"(live late={o['reads_late']}, offline late={offline_late})")
+        ok = ok and agree
+    if args.metrics_snapshot and registry is not None:
+        registry.save(args.metrics_snapshot)
+        print(f"wrote registry snapshot to {args.metrics_snapshot}")
     return 0 if ok else 1
+
+
+def cmd_obs_dump(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.expo import render_prometheus, snapshot_rows
+    from repro.obs.metrics import load_snapshot
+
+    if args.demo:
+        from repro.net.ring_demo import run_ring_soak
+        from repro.obs.metrics import Registry
+
+        registry = Registry()
+        run_ring_soak(
+            n_servers=2, replicas=2, n_clients=2, rounds=10,
+            delta=0.5, seed=args.seed, registry=registry,
+        )
+        snapshot = registry.snapshot()
+    elif args.snapshot:
+        snapshot = load_snapshot(args.snapshot)
+    else:
+        print("error: give a SNAPSHOT file or --demo", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(snapshot, indent=1, sort_keys=True))
+    elif args.table:
+        print_table(snapshot_rows(snapshot), title="registry snapshot")
+    else:
+        print(render_prometheus(snapshot), end="")
+    return 0
+
+
+def cmd_obs_serve(args: argparse.Namespace) -> int:
+    """Serve a saved registry snapshot on a static ``/metrics`` endpoint
+    (dashboard and scrape-tooling development against recorded data)."""
+    import asyncio
+    import signal
+
+    from repro.obs.expo import MetricsServer
+    from repro.obs.metrics import Registry, load_snapshot
+
+    snapshot = load_snapshot(args.snapshot)
+    registry = Registry()
+    registry.register_collector(lambda: snapshot["metrics"])
+
+    async def _serve() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        metrics = await MetricsServer(registry, args.host, args.port).start()
+        print(f"serving {args.snapshot} on http://{metrics.address}/metrics; "
+              "SIGINT/SIGTERM to stop")
+        try:
+            await stop.wait()
+        finally:
+            await metrics.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def cmd_obs_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.expo import render_prometheus, snapshot_rows
+    from repro.obs.metrics import diff_snapshots, load_snapshot
+
+    diff = diff_snapshots(load_snapshot(args.before), load_snapshot(args.after))
+    if args.json:
+        print(json.dumps(diff, indent=1, sort_keys=True))
+    elif args.prometheus:
+        print(render_prometheus(diff), end="")
+    else:
+        rows = [row for row in snapshot_rows(diff) if row["value"] != 0]
+        print_table(rows, title=f"{args.after} - {args.before} "
+                    "(zero rows omitted)")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -702,6 +862,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="artificial per-request processing latency (s)")
     p_serve.add_argument("--trace", default=None,
                          help="dump installed writes as a JSON trace on exit")
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         help="also serve /metrics and /healthz on this port "
+                         "(0 for ephemeral)")
+    p_serve.add_argument("--grace", type=float, default=2.0,
+                         help="drain grace period on shutdown (s)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_client = sub.add_parser("client", help="run a workload against a server")
@@ -792,6 +957,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="first port for devices without an address")
     r_serve.add_argument("--propagation",
                          choices=["push", "invalidate", "none"], default="none")
+    r_serve.add_argument("--metrics-port", type=int, default=None,
+                         help="serve one /metrics endpoint covering every "
+                         "device (0 for ephemeral)")
+    r_serve.add_argument("--grace", type=float, default=2.0,
+                         help="drain grace period on shutdown (s)")
     r_serve.set_defaults(func=cmd_ring_serve_set)
 
     r_soak = ring_sub.add_parser(
@@ -818,7 +988,53 @@ def build_parser() -> argparse.ArgumentParser:
                         help="add a server mid-run: rebalance + handoff + "
                         "cutover, all inside the checked trace")
     r_soak.add_argument("--seed", type=int, default=7)
+    r_soak.add_argument("--metrics", action="store_true",
+                        help="instrument the soak (live on-time ratio, "
+                        "visibility-lag histogram) and report agreement "
+                        "with the offline checker")
+    r_soak.add_argument("--metrics-port", type=int, default=None,
+                        help="serve /metrics live during the soak "
+                        "(implies --metrics)")
+    r_soak.add_argument("--metrics-snapshot", default=None, metavar="FILE",
+                        help="save the final registry snapshot as JSON "
+                        "(implies --metrics; inspect via repro obs dump)")
     r_soak.set_defaults(func=cmd_ring_soak)
+
+    p_obs = sub.add_parser(
+        "obs", help="observability: snapshots, /metrics, diffs "
+        "(docs/OBSERVABILITY.md)")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    o_dump = obs_sub.add_parser(
+        "dump", help="render a registry snapshot (Prometheus text)")
+    o_dump.add_argument("snapshot", nargs="?", default=None,
+                        help="snapshot file (repro ring soak "
+                        "--metrics-snapshot)")
+    o_dump.add_argument("--demo", action="store_true",
+                        help="run a small instrumented ring soak and dump "
+                        "its registry instead")
+    o_dump.add_argument("--seed", type=int, default=7)
+    o_dump.add_argument("--json", action="store_true",
+                        help="emit the snapshot JSON instead")
+    o_dump.add_argument("--table", action="store_true",
+                        help="render as a flat table instead")
+    o_dump.set_defaults(func=cmd_obs_dump)
+
+    o_serve = obs_sub.add_parser(
+        "serve", help="serve a saved snapshot on /metrics")
+    o_serve.add_argument("snapshot", help="snapshot file to serve")
+    o_serve.add_argument("--host", default="127.0.0.1")
+    o_serve.add_argument("--port", type=int, default=9464)
+    o_serve.set_defaults(func=cmd_obs_serve)
+
+    o_diff = obs_sub.add_parser(
+        "diff", help="counter/histogram deltas between two snapshots")
+    o_diff.add_argument("before")
+    o_diff.add_argument("after")
+    o_diff.add_argument("--json", action="store_true")
+    o_diff.add_argument("--prometheus", action="store_true",
+                        help="render the diff as Prometheus text")
+    o_diff.set_defaults(func=cmd_obs_diff)
 
     return parser
 

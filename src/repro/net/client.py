@@ -100,6 +100,8 @@ class NetCacheClient:
         max_retries: int = 4,
         backoff: float = 2.0,
         clock: Optional[SyncedClock] = None,
+        registry: Optional[Any] = None,
+        metric_labels: Optional[Dict[str, Any]] = None,
     ) -> None:
         """``sync_retries`` bounds how often a failed connect/clock-sync
         handshake is redone (fresh connection, capped exponential backoff
@@ -109,7 +111,17 @@ class NetCacheClient:
         ``clock`` substitutes a caller-owned :class:`SyncedClock` — the
         :class:`~repro.net.ring_router.RingRouter` passes per-device
         clocks sharing one local timescale so cross-server offsets
-        compose (docs/RING.md)."""
+        compose (docs/RING.md).
+
+        ``registry`` (a :class:`repro.obs.metrics.Registry`) turns on
+        client-side telemetry: the :class:`ClientStats` struct binds as a
+        pull collector, request RTTs land in
+        ``repro_net_request_rtt_seconds{kind}``, server pushes in
+        ``repro_net_push_lag_seconds`` (observed propagation delay
+        ``now - alpha`` — the quantity delta bounds), and the NTP
+        estimator's offset/error export as gauges.  ``metric_labels``
+        adds constant labels (e.g. ``device=<id>``) next to the implicit
+        ``site=<client_id>``."""
         if delta < 0:
             raise ValueError(f"delta must be non-negative, got {delta}")
         if mode not in FRESHNESS_MODES:
@@ -142,6 +154,49 @@ class NetCacheClient:
         self._requests = itertools.count()
         self._pending: Dict[int, asyncio.Future] = {}
         self._recv_task: Optional[asyncio.Task] = None
+        self.registry = registry
+        self._rtt = None
+        self._push_lag = None
+        self._clock_collector = None
+        if registry is not None:
+            self._bind_metrics(metric_labels or {})
+
+    def _bind_metrics(self, extra: Dict[str, Any]) -> None:
+        from repro.obs.bridge import bind_client_stats
+        from repro.obs.metrics import family
+
+        labels = {"site": str(self.client_id)}
+        labels.update({k: str(v) for k, v in extra.items()})
+        bind_client_stats(self.registry, self.stats, **labels)
+        rtt = self.registry.histogram(
+            "repro_net_request_rtt_seconds",
+            "Request round-trip time as seen by the cache client",
+            labels=tuple(labels) + ("kind",),
+        )
+        # Pre-bound children: the request path does one dict lookup.
+        self._rtt = {
+            kind: rtt.labels(**labels, kind=kind)
+            for kind in (messages.FETCH, messages.VALIDATE, messages.WRITE, SYNC)
+        }
+        self._push_lag = self.registry.histogram(
+            "repro_net_push_lag_seconds",
+            "Propagation delay of server pushes (receipt time - alpha); "
+            "the quantity TSC's delta bounds",
+            labels=tuple(labels),
+        ).labels(**labels)
+
+        def clock_collector():
+            est = self.clock.estimator
+            return [
+                family("repro_net_clock_error_seconds", "gauge",
+                       "NTP estimator error bound (epsilon contribution)",
+                       [(labels, est.error_bound)]),
+                family("repro_net_clock_offset_seconds", "gauge",
+                       "Estimated offset to the server clock",
+                       [(labels, est.offset)]),
+            ]
+
+        self._clock_collector = self.registry.register_collector(clock_collector)
 
     # -- connection lifecycle -------------------------------------------------
 
@@ -349,6 +404,10 @@ class NetCacheClient:
     def _on_push(self, frame: Dict[str, Any]) -> None:
         version = _version_from(frame)
         self.stats.pushes += 1
+        if self._push_lag is not None:
+            lag = self.now() - version.alpha
+            if lag >= 0.0:
+                self._push_lag.observe(lag)
         entry = self.cache.get(version.obj)
         if entry is None or version.alpha > entry.version.alpha:
             self._install(version)
@@ -375,6 +434,8 @@ class NetCacheClient:
         future: asyncio.Future = asyncio.get_event_loop().create_future()
         self._pending[req] = future
         wait = timeout if timeout is not None else self.request_timeout
+        rtt_child = self._rtt.get(message["kind"]) if self._rtt else None
+        issued = self.clock.local() if rtt_child is not None else 0.0
         try:
             for attempt in range(self.max_retries + 1):
                 await self.conn.send(message)
@@ -391,6 +452,8 @@ class NetCacheClient:
                     continue
                 if reply.get("kind") == ERROR:
                     raise ProtocolError(str(reply.get("error")))
+                if rtt_child is not None:
+                    rtt_child.observe(self.clock.local() - issued)
                 return reply
             raise RequestTimeout(f"no reply to {message['kind']} #{req}")
         finally:

@@ -108,6 +108,8 @@ class FrameConnection:
         self.faults = faults
         self.sent = 0
         self.received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
         self._delayed: Set[asyncio.Task] = set()
 
     @property
@@ -137,6 +139,7 @@ class FrameConnection:
             return
         self.writer.write(data)
         self.sent += 1
+        self.bytes_sent += len(data)
 
     async def _write_later(self, data: bytes, delay: float) -> None:
         await asyncio.sleep(delay)
@@ -153,6 +156,11 @@ class FrameConnection:
         frame = await read_frame(self.reader)
         if frame is not None:
             self.received += 1
+            # Approximate (re-encoded) payload size: the reader consumed
+            # the original bytes already; close enough for byte gauges.
+            self.bytes_received += _LENGTH.size + len(
+                json.dumps(frame, separators=(",", ":"))
+            )
         return frame
 
     async def close(self) -> None:

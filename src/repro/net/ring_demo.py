@@ -59,6 +59,10 @@ class RingReport:
     server_requests: Dict[int, int]
     moves: List[PartitionMove] = field(default_factory=list)
     handoff: Optional[HandoffReport] = None
+    #: Live on-time / visibility summary (``TimedInstruments.summary()``)
+    #: when the soak ran with a registry; the online counterpart of the
+    #: offline ``tsc`` verdict.
+    ontime: Optional[Dict[str, object]] = None
 
     @property
     def late_reads(self) -> List[ReadVerdict]:
@@ -110,8 +114,20 @@ async def ring_cluster(
     read_policy: str = "primary",
     add_device_midway: bool = False,
     host: str = "127.0.0.1",
+    registry: Optional[object] = None,
 ) -> RingReport:
-    """Run one ring-routed cluster end to end; see the module docstring."""
+    """Run one ring-routed cluster end to end; see the module docstring.
+
+    ``registry`` (a :class:`repro.obs.metrics.Registry`) instruments the
+    whole cluster: every server and router binds its counters, and one
+    shared :class:`~repro.obs.instruments.TimedInstruments` judges reads
+    online at the configured delta (epsilon set from the routers'
+    clock-sync bounds after connect).  The report then carries the live
+    ``ontime`` summary next to the offline checker verdicts.  A caller
+    wanting a live ``/metrics`` endpoint starts a
+    :class:`~repro.obs.expo.MetricsServer` over the same registry and
+    runs the soak as a task (see ``repro ring soak --metrics-port``).
+    """
     if replicas > n_servers:
         raise ValueError(
             f"replication factor {replicas} exceeds {n_servers} servers"
@@ -121,12 +137,20 @@ async def ring_cluster(
         builder.add_device(dev_id)
     ring, _ = builder.rebalance()
 
+    instruments = None
+    if registry is not None:
+        from repro.obs.instruments import TimedInstruments
+
+        instruments = TimedInstruments(registry, delta)
+
     server_skews = default_skews(n_servers + 1, server_skew)
     servers: Dict[int, NetObjectServer] = {}
     for dev_id in range(n_servers):
         server = NetObjectServer(
             host, 0, propagation="none",
             clock=RebasedClock(offset=server_skews[dev_id]),
+            registry=registry,
+            metric_labels={"device": dev_id} if registry is not None else None,
         )
         await server.start()
         servers[dev_id] = server
@@ -140,6 +164,7 @@ async def ring_cluster(
             i, ring, endpoints,
             delta=delta, write_quorum=write_quorum, read_policy=read_policy,
             recorder=recorder, skew=client_skews[i],
+            registry=registry, instruments=instruments,
         )
         for i in range(n_clients)
     ]
@@ -236,9 +261,40 @@ async def ring_cluster(
         server_requests={d: s.requests for d, s in servers.items()},
         moves=list(moves),
         handoff=handoff,
+        ontime=instruments.summary() if instruments is not None else None,
     )
 
 
-def run_ring_soak(**kwargs) -> RingReport:
-    """Synchronous wrapper around :func:`ring_cluster`."""
-    return asyncio.run(ring_cluster(**kwargs))
+def run_ring_soak(
+    *,
+    metrics_port: Optional[int] = None,
+    metrics_host: str = "127.0.0.1",
+    **kwargs,
+) -> RingReport:
+    """Synchronous wrapper around :func:`ring_cluster`.
+
+    ``metrics_port`` (0 for an ephemeral port) serves the soak's
+    registry on ``http://<metrics_host>:<port>/metrics`` for the run's
+    duration — a registry is created if the caller did not pass one.
+    """
+
+    async def _run() -> RingReport:
+        registry = kwargs.pop("registry", None)
+        metrics = None
+        if metrics_port is not None:
+            if registry is None:
+                from repro.obs.metrics import Registry
+
+                registry = Registry()
+            from repro.obs.expo import MetricsServer
+
+            metrics = await MetricsServer(
+                registry, metrics_host, metrics_port
+            ).start()
+        try:
+            return await ring_cluster(registry=registry, **kwargs)
+        finally:
+            if metrics is not None:
+                await metrics.close()
+
+    return asyncio.run(_run())

@@ -85,6 +85,15 @@ class RingRouter:
     the authoritative device first) or ``"spread"`` (round-robin over the
     replica set — higher read throughput, freshness backed by the W-of-N
     fan-out plus anti-entropy within delta).
+
+    ``registry`` (a :class:`repro.obs.metrics.Registry`) binds the
+    router's and placement's counters as pull collectors and propagates
+    to the per-device clients (RTT / push-lag histograms, clock gauges,
+    per-device ClientStats).  ``instruments`` (a
+    :class:`repro.obs.instruments.TimedInstruments`) feeds every routed
+    read/write into the live on-time-ratio / visibility-lag monitors;
+    :meth:`connect` sets its ``epsilon`` from :attr:`epsilon_bound` once
+    the clock-sync handshakes have run.
     """
 
     def __init__(
@@ -103,6 +112,8 @@ class RingRouter:
         request_timeout: float = 0.5,
         max_retries: int = 4,
         fault_injectors: Optional[Dict[int, FaultInjector]] = None,
+        registry: Optional[Any] = None,
+        instruments: Optional[Any] = None,
     ) -> None:
         if read_policy not in READ_POLICIES:
             raise ValueError(
@@ -121,6 +132,8 @@ class RingRouter:
         # One local clock shared by every per-device estimator: offsets
         # then compose across devices (module docstring).
         self.local_clock = RebasedClock(offset=skew)
+        self.registry = registry
+        self.instruments = instruments
         injectors = fault_injectors or {}
         self.clients: Dict[int, NetCacheClient] = {}
         for dev_id in ring.device_ids():
@@ -132,6 +145,8 @@ class RingRouter:
                 sync_rounds=sync_rounds,
                 request_timeout=request_timeout, max_retries=max_retries,
                 faults=injectors.get(dev_id),
+                registry=registry,
+                metric_labels={"device": dev_id} if registry is not None else None,
             )
         self.reference = min(self.clients)
         self.placement = ReplicatedPlacement(
@@ -140,12 +155,25 @@ class RingRouter:
         )
         self._spread_cursor = 0
         self._anti_entropy_task: Optional[asyncio.Task] = None
+        if registry is not None:
+            from repro.obs.bridge import bind_placement_stats, bind_router_stats
+
+            bind_router_stats(registry, self.stats, site=client_id)
+            bind_placement_stats(registry, self.placement.stats, site=client_id)
 
     # -- lifecycle ------------------------------------------------------------
 
     async def connect(self) -> "RingRouter":
         for dev_id in sorted(self.clients):
             await self.clients[dev_id].connect()
+        if self.instruments is not None:
+            # The residual sync error is known only after the NTP
+            # exchanges.  Instruments may be shared across routers, so
+            # keep the worst bound — the epsilon the merged trace is
+            # checked with offline.
+            self.instruments.epsilon = max(
+                self.instruments.epsilon, self.epsilon_bound
+            )
         return self
 
     async def close(self) -> None:
@@ -249,9 +277,13 @@ class RingRouter:
             self.stats.off_ring_reads += 1
         by_dev = self.stats.reads_by_device
         by_dev[dev] = by_dev.get(dev, 0) + 1
+        end = self.now()
         if self.recorder is not None:
-            end = self.now()
             self.recorder.record_read(
+                self.client_id, obj, value, end, start=started, end=end
+            )
+        if self.instruments is not None:
+            self.instruments.on_read(
                 self.client_id, obj, value, end, start=started, end=end
             )
         return value
@@ -266,6 +298,11 @@ class RingRouter:
         alpha_ref = outcome.alpha + self.offset_to_reference(primary)
         if self.recorder is not None:
             self.recorder.record_write(
+                self.client_id, obj, value, alpha_ref,
+                start=started, end=self.now(),
+            )
+        if self.instruments is not None:
+            self.instruments.on_write(
                 self.client_id, obj, value, alpha_ref,
                 start=started, end=self.now(),
             )

@@ -16,6 +16,15 @@
 Plus the transport handshake: ``hello``/``hello-ack`` and the NTP-style
 ``sync``/``sync-ack`` exchange of :mod:`repro.net.clocksync`.
 
+Observability: pass a :class:`repro.obs.metrics.Registry` and the server
+registers a pull-model collector over its native counters (requests by
+kind, propagation fan-out, connection/frame/byte accounting, in-flight
+depth) — zero cost on the request path.  ``shutdown()`` drains
+gracefully: stop accepting, let in-flight requests finish, flush reply
+buffers, send each peer a clean ``bye`` frame, then close; ``healthy``
+flips false the moment a drain starts so a ``/healthz`` probe can steer
+load away first.
+
 The server's clock is the cluster's time reference: install times
 (``alpha``) and validation times (``omega``) are stamped with it, and
 clients synchronize to it, so a merged trace lives on one timescale with
@@ -89,6 +98,8 @@ class NetObjectServer:
         recorder: Optional[TraceRecorder] = None,
         clock: Optional[Callable[[], float]] = None,
         fault_factory: Optional[Callable[[], FaultInjector]] = None,
+        registry: Optional[Any] = None,
+        metric_labels: Optional[Dict[str, Any]] = None,
     ) -> None:
         if propagation not in PROPAGATION_POLICIES:
             raise ValueError(
@@ -111,9 +122,27 @@ class NetObjectServer:
         self._connections: Set[FrameConnection] = set()
         self._subscribers: Dict[FrameConnection, int] = {}
         self.requests = 0
+        self.requests_by_kind: Dict[str, int] = {}
         self.connections_accepted = 0
         self.pushes_sent = 0
         self.invalidations_sent = 0
+        # Frame/byte totals of connections that already closed; live
+        # connections are summed at scrape time.
+        self._closed_frames = {"sent": 0, "received": 0}
+        self._closed_bytes = {"sent": 0, "received": 0}
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.draining = False
+        self.registry = registry
+        self.metric_labels = {
+            k: str(v) for k, v in (metric_labels or {}).items()
+        }
+        self._collector = None
+        if registry is not None:
+            from repro.obs.bridge import bind_net_server
+
+            self._collector = bind_net_server(registry, self, **self.metric_labels)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -131,6 +160,47 @@ class NetObjectServer:
         assert self._server is not None, "call start() first"
         await self._server.serve_forever()
 
+    @property
+    def healthy(self) -> bool:
+        """False once a drain has started (wire to ``/healthz``)."""
+        return self._server is not None and not self.draining
+
+    def transport_totals(self) -> Dict[str, Dict[str, int]]:
+        """Frame and byte totals: closed connections plus live ones."""
+        frames = dict(self._closed_frames)
+        octets = dict(self._closed_bytes)
+        for conn in self._connections:
+            frames["sent"] += conn.sent
+            frames["received"] += conn.received
+            octets["sent"] += conn.bytes_sent
+            octets["received"] += conn.bytes_received
+        return {"frames": frames, "bytes": octets}
+
+    async def shutdown(self, grace: float = 2.0) -> None:
+        """Graceful drain: stop accepting, finish in-flight requests
+        (up to ``grace`` seconds), flush replies, say ``bye``, close.
+
+        Safe to call from a signal handler via ``create_task``; a second
+        call (or a later :meth:`close`) is a no-op for the parts already
+        done.
+        """
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._inflight:
+            try:
+                await asyncio.wait_for(self._idle.wait(), grace)
+            except asyncio.TimeoutError:
+                pass  # grace expired: close anyway, replies may be lost
+        for conn in list(self._connections):
+            try:
+                await conn.send({"kind": BYE, "reason": "server shutdown"})
+            except (ConnectionError, FrameError):
+                pass
+        await self.close()
+
     async def close(self) -> None:
         if self._server is not None:
             self._server.close()
@@ -140,6 +210,10 @@ class NetObjectServer:
             await conn.close()
         self._connections.clear()
         self._subscribers.clear()
+        # The collector stays registered: a registry is scoped to one
+        # deployment/run, and post-run snapshots must still carry the
+        # server's final counters.  Unregister explicitly for reuse:
+        #     registry.unregister_collector(server._collector)
 
     async def __aenter__(self) -> "NetObjectServer":
         return await self.start()
@@ -180,12 +254,31 @@ class NetObjectServer:
         finally:
             self._subscribers.pop(conn, None)
             self._connections.discard(conn)
+            self._closed_frames["sent"] += conn.sent
+            self._closed_frames["received"] += conn.received
+            self._closed_bytes["sent"] += conn.bytes_sent
+            self._closed_bytes["received"] += conn.bytes_received
             await conn.close()
 
     async def _dispatch(
         self, conn: FrameConnection, client_id: int, frame: Dict[str, Any]
     ) -> None:
+        self._inflight += 1
+        self._idle.clear()
+        try:
+            await self._dispatch_inner(conn, client_id, frame)
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+
+    async def _dispatch_inner(
+        self, conn: FrameConnection, client_id: int, frame: Dict[str, Any]
+    ) -> None:
         kind = frame.get("kind")
+        self.requests_by_kind[str(kind)] = (
+            self.requests_by_kind.get(str(kind), 0) + 1
+        )
         if kind == SYNC:
             # No artificial latency here: the sync exchange measures the
             # genuine transport, and (t2 - t1) excludes server time anyway.

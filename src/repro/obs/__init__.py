@@ -1,0 +1,83 @@
+"""repro.obs — unified observability for every runtime layer.
+
+The metrics core (:mod:`repro.obs.metrics`), the timed-consistency
+instruments (:mod:`repro.obs.instruments`), the Prometheus/HTTP
+exposition (:mod:`repro.obs.expo`), and the pull-model bridges over the
+existing stat structs (:mod:`repro.obs.bridge`).  See
+docs/OBSERVABILITY.md for the metric catalogue, label conventions, and
+the on-time-ratio semantics relative to the paper's Definitions 1–2.
+"""
+
+from repro.obs.bridge import (
+    bind_client_stats,
+    bind_monitor_stats,
+    bind_net_server,
+    bind_placement_stats,
+    bind_router_stats,
+    bind_search_stats,
+    bind_sim_server,
+    bind_simulator,
+)
+from repro.obs.expo import (
+    MetricsServer,
+    render_prometheus,
+    scrape,
+    snapshot_rows,
+)
+from repro.obs.instruments import (
+    DEFAULT_TRACE_CAPACITY,
+    DEFAULT_WINDOW,
+    EventTrace,
+    OnTimeRatio,
+    OnTimeVerdict,
+    TimedInstruments,
+    VisibilityLag,
+)
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    Registry,
+    diff_snapshots,
+    exponential_buckets,
+    family,
+    get_registry,
+    load_snapshot,
+    merge_snapshots,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Counter",
+    "DEFAULT_TRACE_CAPACITY",
+    "DEFAULT_WINDOW",
+    "EventTrace",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsServer",
+    "OnTimeRatio",
+    "OnTimeVerdict",
+    "Registry",
+    "TimedInstruments",
+    "VisibilityLag",
+    "bind_client_stats",
+    "bind_monitor_stats",
+    "bind_net_server",
+    "bind_placement_stats",
+    "bind_router_stats",
+    "bind_search_stats",
+    "bind_sim_server",
+    "bind_simulator",
+    "diff_snapshots",
+    "exponential_buckets",
+    "family",
+    "get_registry",
+    "load_snapshot",
+    "merge_snapshots",
+    "render_prometheus",
+    "scrape",
+    "snapshot_rows",
+]

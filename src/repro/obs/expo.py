@@ -1,0 +1,284 @@
+"""Exposition: Prometheus text rendering and the ``/metrics`` endpoint.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.metrics.Registry`
+(or a snapshot dict) into the Prometheus text format (version 0.0.4),
+and :class:`MetricsServer` serves it over a tiny asyncio HTTP/1.0
+responder — no dependencies, embeddable next to any asyncio stack
+(:class:`~repro.net.server.NetObjectServer`, the ring soak, ``repro obs
+serve``).  Routes:
+
+* ``GET /metrics``      — Prometheus text exposition;
+* ``GET /metrics.json`` — the registry snapshot as JSON;
+* ``GET /healthz``      — liveness (optionally a caller-supplied check).
+
+The responder reads one request, answers, and closes — scrape clients
+(Prometheus, ``curl``, the CI soak step) all speak that subset.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.obs.metrics import COUNTER, GAUGE, HISTOGRAM, Registry
+
+_MAX_REQUEST_BYTES = 8192
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r"\"")
+    )
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(source: Union[Registry, Dict[str, Any]]) -> str:
+    """The text exposition of a registry or snapshot dict."""
+    families = (
+        source.collect() if isinstance(source, Registry)
+        else source.get("metrics", [])
+    )
+    lines: List[str] = []
+    for fam in families:
+        name, kind = fam["name"], fam["kind"]
+        if fam.get("help"):
+            lines.append(f"# HELP {name} {fam['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in fam["samples"]:
+            labels = dict(sample.get("labels", {}))
+            if kind == HISTOGRAM:
+                for bound, count in sample["buckets"]:
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(float(bound))
+                    lines.append(
+                        f"{name}_bucket{_render_labels(bucket_labels)} {count}"
+                    )
+                lines.append(
+                    f"{name}_sum{_render_labels(labels)} "
+                    f"{_format_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(labels)} {sample['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_render_labels(labels)} "
+                    f"{_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def snapshot_rows(
+    snapshot: Dict[str, Any], kinds: tuple = (COUNTER, GAUGE)
+) -> List[Dict[str, Any]]:
+    """Flat ``{metric, labels, value}`` rows for table rendering
+    (histograms are summarized as ``_count``/``_sum`` rows)."""
+    rows: List[Dict[str, Any]] = []
+    for fam in snapshot.get("metrics", []):
+        for sample in fam["samples"]:
+            labels = ",".join(
+                f"{k}={v}" for k, v in sorted(sample.get("labels", {}).items())
+            )
+            if fam["kind"] == HISTOGRAM:
+                if HISTOGRAM not in kinds:
+                    continue
+                rows.append({"metric": fam["name"] + "_count",
+                             "labels": labels, "value": sample["count"]})
+                rows.append({"metric": fam["name"] + "_sum",
+                             "labels": labels,
+                             "value": round(sample["sum"], 6)})
+            elif fam["kind"] in kinds:
+                value = sample["value"]
+                rows.append({
+                    "metric": fam["name"], "labels": labels,
+                    "value": int(value) if float(value).is_integer() else
+                    round(value, 6),
+                })
+    return rows
+
+
+class MetricsServer:
+    """Serve a registry over HTTP: ``/metrics``, ``/metrics.json``,
+    ``/healthz``.
+
+    ``health`` is an optional zero-argument callable returning either a
+    bool or a JSON-able dict; an exception or falsy result turns
+    ``/healthz`` into a 503 (the drain path of
+    :meth:`repro.net.server.NetObjectServer.shutdown` uses this to fail
+    readiness while connections flush).
+    """
+
+    def __init__(
+        self,
+        registry: Registry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        health: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.health = health
+        self.scrapes = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> "MetricsServer":
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "MetricsServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- request handling ---------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=5.0
+            )
+        except (
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+        ):
+            writer.close()
+            return
+        if len(request) > _MAX_REQUEST_BYTES:
+            await self._respond(writer, 400, "text/plain", b"request too large")
+            return
+        try:
+            method, path, _version = (
+                request.split(b"\r\n", 1)[0].decode("latin-1").split(" ", 2)
+            )
+        except ValueError:
+            await self._respond(writer, 400, "text/plain", b"bad request line")
+            return
+        path = path.split("?", 1)[0]
+        if method not in ("GET", "HEAD"):
+            await self._respond(writer, 405, "text/plain", b"method not allowed")
+            return
+        if path == "/metrics":
+            self.scrapes += 1
+            body = render_prometheus(self.registry).encode("utf-8")
+            await self._respond(
+                writer, 200,
+                "text/plain; version=0.0.4; charset=utf-8", body,
+                head_only=method == "HEAD",
+            )
+        elif path == "/metrics.json":
+            self.scrapes += 1
+            body = json.dumps(self.registry.snapshot(), sort_keys=True).encode()
+            await self._respond(writer, 200, "application/json", body,
+                                head_only=method == "HEAD")
+        elif path == "/healthz":
+            status, payload = self._health_payload()
+            await self._respond(
+                writer, status, "application/json",
+                json.dumps(payload, sort_keys=True).encode(),
+                head_only=method == "HEAD",
+            )
+        else:
+            await self._respond(writer, 404, "text/plain", b"not found")
+
+    def _health_payload(self) -> tuple:
+        if self.health is None:
+            return 200, {"status": "ok"}
+        try:
+            result = self.health()
+        except Exception as exc:  # health probe itself failing is unhealthy
+            return 503, {"status": "error", "error": repr(exc)}
+        if isinstance(result, dict):
+            healthy = result.get("status", "ok") == "ok"
+            return (200 if healthy else 503), result
+        return (200, {"status": "ok"}) if result else (503, {"status": "draining"})
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        body: bytes,
+        head_only: bool = False,
+    ) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 503: "Service Unavailable"}
+        head = (
+            f"HTTP/1.0 {status} {reason.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head if head_only else head + body)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+
+async def scrape(
+    host: str, port: int, path: str = "/metrics", timeout: float = 5.0
+) -> tuple:
+    """A minimal asyncio scrape client: ``(status, body_text)``.
+
+    Used by tests and the CI soak step; real deployments point an actual
+    Prometheus at the endpoint instead.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode("latin-1")
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(-1), timeout=timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, body.decode("utf-8")

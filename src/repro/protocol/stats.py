@@ -1,9 +1,19 @@
-"""Per-client protocol statistics for the cost benches."""
+"""Per-client protocol statistics, exported through ``repro.obs``.
+
+:class:`ClientStats` is the canonical counter struct of every cache
+client (sim, asyncio twin, TCP, ring router).  It is *ported onto* the
+:mod:`repro.obs` registry in the pull model: the fields stay native
+``int``s (the sim hot path keeps plain ``+= 1`` arithmetic), and
+:meth:`ClientStats.bind` registers the struct as a registry collector
+that materializes the Prometheus families at scrape time.
+:meth:`as_row` and :meth:`merge` remain as the thin bridge the benches
+and tests were built on.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 
 @dataclass
@@ -87,3 +97,71 @@ class ClientStats:
             "retries": self.retries,
             "mean_read_latency": round(self.mean_read_latency, 4),
         }
+
+    # -- the repro.obs port ---------------------------------------------------
+
+    def collect_families(
+        self, labels: Optional[Dict[str, str]] = None
+    ) -> List[Dict[str, Any]]:
+        """The struct as registry metric families (the collector body).
+
+        Cache events (hits, validations split by outcome, fetches,
+        invalidations, mark-old demotions = lifetime expirations,
+        revalidations = lifetime renewals) land in one labeled family so
+        dashboards can stack them; read latencies export as a
+        sum/count pair (mean recoverable at query time).
+        """
+        from repro.obs.metrics import family
+
+        base = {k: str(v) for k, v in (labels or {}).items()}
+
+        def with_label(**extra: str) -> Dict[str, str]:
+            out = dict(base)
+            out.update(extra)
+            return out
+
+        return [
+            family("repro_client_ops_total", "counter",
+                   "Client operations by kind",
+                   [(with_label(kind="read"), self.reads),
+                    (with_label(kind="write"), self.writes)]),
+            family("repro_client_cache_events_total", "counter",
+                   "Lifetime-protocol cache events by kind",
+                   [(with_label(event="fresh_hit"), self.fresh_hits),
+                    (with_label(event="validation"), self.validations),
+                    (with_label(event="revalidated"), self.revalidated),
+                    (with_label(event="refreshed"), self.refreshed),
+                    (with_label(event="fetch"), self.fetches),
+                    (with_label(event="invalidation"), self.invalidations),
+                    (with_label(event="marked_old"), self.marked_old),
+                    (with_label(event="fetch_check_failure"),
+                     self.fetch_check_failures)]),
+            family("repro_client_pushes_total", "counter",
+                   "Server-initiated frames received by kind",
+                   [(with_label(kind="push"), self.pushes),
+                    (with_label(kind="invalidate"), self.push_invalidations)]),
+            family("repro_client_retries_total", "counter",
+                   "Request retransmissions on lossy links",
+                   [(base, self.retries)]),
+            family("repro_client_read_latency_seconds_sum", "counter",
+                   "Summed read completion latency",
+                   [(base, sum(self.read_latencies))]),
+            family("repro_client_read_latency_reads", "counter",
+                   "Reads contributing to the latency sum",
+                   [(base, len(self.read_latencies))]),
+            family("repro_client_hit_ratio", "gauge",
+                   "Fraction of reads served without any message",
+                   [(base, self.hit_ratio)]),
+        ]
+
+    def bind(self, registry, **labels: Any):
+        """Register this struct as a collector on ``registry`` (labels
+        typically ``site=<client id>`` plus a ``stack`` discriminator).
+        Returns the collector for later unregistration."""
+
+        def collector() -> List[Dict[str, Any]]:
+            return self.collect_families(
+                {k: str(v) for k, v in labels.items()}
+            )
+
+        return registry.register_collector(collector)

@@ -1,0 +1,111 @@
+"""`repro check --stats`: JSON output shape and the 0/1/2/3 exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.io import dump_history
+from repro.paperdata import figure1, figure5
+
+
+@pytest.fixture
+def fig1_path(tmp_path):
+    path = tmp_path / "fig1.json"
+    with open(path, "w") as fh:
+        dump_history(figure1(), fh)
+    return str(path)
+
+
+@pytest.fixture
+def fig5_path(tmp_path):
+    path = tmp_path / "fig5.json"
+    with open(path, "w") as fh:
+        dump_history(figure5(), fh)
+    return str(path)
+
+
+class TestExitCodes:
+    def test_satisfied_exits_zero(self, fig1_path):
+        assert main(["check", fig1_path, "--criterion", "sc"]) == 0
+
+    def test_violated_exits_one(self, fig5_path):
+        assert main([
+            "check", fig5_path, "--criterion", "tsc", "--delta", "50",
+        ]) == 1
+
+    def test_tsc_without_delta_exits_two(self, fig5_path, capsys):
+        assert main(["check", fig5_path, "--criterion", "tsc"]) == 2
+        assert "--delta" in capsys.readouterr().err
+
+    def test_budget_exhaustion_exits_three(self, fig5_path, capsys):
+        code = main([
+            "check", fig5_path, "--criterion", "sc",
+            "--method", "search", "--budget", "1",
+        ])
+        assert code == 3
+        assert "UNKNOWN" in capsys.readouterr().out
+
+
+class TestJsonShape:
+    def test_stats_payload_shape(self, fig1_path, capsys):
+        assert main([
+            "check", fig1_path, "--criterion", "sc",
+            "--method", "search", "--stats", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["criterion"] == "sc"
+        assert payload["satisfied"] is True
+        assert payload["unknown"] is False
+        assert payload["violation"] is None
+        assert payload["states_explored"] >= 1
+        stats = payload["stats"]
+        assert stats["states"] == payload["states_explored"]
+        assert set(stats) == {
+            "states", "memo_hits", "prunes", "max_frontier_depth",
+            "wall_time", "budget",
+        }
+        assert isinstance(stats["prunes"], dict)
+        assert stats["wall_time"] >= 0.0
+
+    def test_constraint_engine_omits_search_breakdown(self, fig1_path, capsys):
+        assert main([
+            "check", fig1_path, "--criterion", "sc", "--stats", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["states_explored"] >= 0
+        assert "stats" not in payload
+
+    def test_violated_json_carries_violation(self, fig5_path, capsys):
+        assert main([
+            "check", fig5_path, "--criterion", "tsc", "--delta", "50",
+            "--stats", "--json",
+        ]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["satisfied"] is False
+        assert payload["violation"]
+        assert payload["parameters"]["delta"] == 50.0
+
+    def test_unknown_json_shape(self, fig5_path, capsys):
+        assert main([
+            "check", fig5_path, "--criterion", "sc",
+            "--method", "search", "--budget", "1", "--json",
+        ]) == 3
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {
+            "criterion": "sc",
+            "satisfied": None,
+            "unknown": True,
+            "violation": None,
+            "budget": 1,
+        }
+
+    def test_stats_text_mode_prints_breakdown(self, fig1_path, capsys):
+        assert main([
+            "check", fig1_path, "--criterion", "sc",
+            "--method", "search", "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "search stats:" in out
+        assert "states:" in out
+        assert "memo_hits:" in out

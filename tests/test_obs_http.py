@@ -1,0 +1,141 @@
+"""The /metrics endpoint: routes, content types, health, bad requests."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs.expo import MetricsServer, scrape
+from repro.obs.metrics import Registry
+
+pytestmark = pytest.mark.net
+
+
+def _registry():
+    reg = Registry()
+    reg.counter("repro_test_total", "a test counter").inc(3)
+    reg.histogram("repro_test_seconds", buckets=(0.1,)).observe(0.05)
+    return reg
+
+
+def test_metrics_text_exposition():
+    async def run():
+        async with MetricsServer(_registry()) as server:
+            return await scrape(server.host, server.port)
+
+    status, body = asyncio.run(run())
+    assert status == 200
+    assert "repro_test_total 3" in body
+    assert 'repro_test_seconds_bucket{le="+Inf"} 1' in body
+
+
+def test_metrics_json_snapshot():
+    async def run():
+        async with MetricsServer(_registry()) as server:
+            return await scrape(server.host, server.port, "/metrics.json")
+
+    status, body = asyncio.run(run())
+    assert status == 200
+    snapshot = json.loads(body)
+    names = {f["name"] for f in snapshot["metrics"]}
+    assert {"repro_test_total", "repro_test_seconds"} <= names
+
+
+def test_healthz_defaults_ok():
+    async def run():
+        async with MetricsServer(Registry()) as server:
+            return await scrape(server.host, server.port, "/healthz")
+
+    status, body = asyncio.run(run())
+    assert status == 200
+    assert json.loads(body) == {"status": "ok"}
+
+
+def test_healthz_draining_is_503():
+    async def run():
+        async with MetricsServer(Registry(), health=lambda: False) as server:
+            return await scrape(server.host, server.port, "/healthz")
+
+    status, body = asyncio.run(run())
+    assert status == 503
+    assert json.loads(body)["status"] == "draining"
+
+
+def test_healthz_probe_exception_is_503():
+    def boom():
+        raise RuntimeError("probe exploded")
+
+    async def run():
+        async with MetricsServer(Registry(), health=boom) as server:
+            return await scrape(server.host, server.port, "/healthz")
+
+    status, body = asyncio.run(run())
+    assert status == 503
+    assert json.loads(body)["status"] == "error"
+
+
+def test_healthz_dict_result_passthrough():
+    async def run():
+        async with MetricsServer(
+            Registry(), health=lambda: {"status": "ok", "inflight": 2}
+        ) as server:
+            return await scrape(server.host, server.port, "/healthz")
+
+    status, body = asyncio.run(run())
+    assert status == 200
+    assert json.loads(body)["inflight"] == 2
+
+
+def test_unknown_path_is_404():
+    async def run():
+        async with MetricsServer(Registry()) as server:
+            return await scrape(server.host, server.port, "/nope")
+
+    status, _ = asyncio.run(run())
+    assert status == 404
+
+
+def test_post_is_405():
+    async def run():
+        async with MetricsServer(Registry()) as server:
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            writer.write(b"POST /metrics HTTP/1.0\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read(-1)
+            writer.close()
+            return raw
+
+    raw = asyncio.run(run())
+    assert raw.startswith(b"HTTP/1.0 405")
+
+
+def test_head_returns_headers_only():
+    async def run():
+        async with MetricsServer(_registry()) as server:
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            writer.write(b"HEAD /metrics HTTP/1.0\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read(-1)
+            writer.close()
+            return raw
+
+    raw = asyncio.run(run())
+    head, _, body = raw.partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.0 200")
+    assert body == b""
+    assert b"Content-Length" in head
+
+
+def test_scrape_counter_counts_scrapes():
+    async def run():
+        async with MetricsServer(_registry()) as server:
+            await scrape(server.host, server.port)
+            await scrape(server.host, server.port, "/metrics.json")
+            await scrape(server.host, server.port, "/healthz")
+            return server.scrapes
+
+    assert asyncio.run(run()) == 2  # healthz is not a scrape

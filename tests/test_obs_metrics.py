@@ -1,0 +1,261 @@
+"""The repro.obs metrics core: counters, gauges, histograms, registry,
+snapshots, and the Prometheus text exposition."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    Registry,
+    diff_snapshots,
+    exponential_buckets,
+    family,
+    load_snapshot,
+    merge_snapshots,
+)
+from repro.obs.expo import render_prometheus, snapshot_rows
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        reg = Registry()
+        c = reg.counter("repro_test_total", "help")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counters_only_go_up(self):
+        reg = Registry()
+        with pytest.raises(MetricError):
+            reg.counter("repro_test_total").inc(-1)
+
+    def test_labeled_children_are_independent(self):
+        reg = Registry()
+        c = reg.counter("repro_ops_total", labels=("kind",))
+        c.labels(kind="read").inc()
+        c.labels(kind="read").inc()
+        c.labels(kind="write").inc()
+        samples = {
+            s["labels"]["kind"]: s["value"] for s in c.samples()
+        }
+        assert samples == {"read": 2.0, "write": 1.0}
+
+    def test_prebound_child_is_stable(self):
+        reg = Registry()
+        c = reg.counter("repro_ops_total", labels=("kind",))
+        assert c.labels(kind="read") is c.labels(kind="read")
+
+    def test_label_mismatch_rejected(self):
+        reg = Registry()
+        c = reg.counter("repro_ops_total", labels=("kind",))
+        with pytest.raises(MetricError):
+            c.labels(wrong="x")
+        with pytest.raises(MetricError):
+            c.labels()
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        g = Registry().gauge("repro_depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7.0
+
+    def test_callback_backed(self):
+        state = {"v": 1.0}
+        g = Registry().gauge("repro_now_seconds")
+        g.set_function(lambda: state["v"])
+        assert g.value == 1.0
+        state["v"] = 9.0
+        assert g.value == 9.0
+
+
+class TestHistograms:
+    def test_observations_land_in_buckets(self):
+        reg = Registry()
+        h = reg.histogram("repro_lag_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        (sample,) = h.samples()
+        assert sample["count"] == 4
+        assert sample["sum"] == pytest.approx(6.05)
+        # Cumulative counts: <=0.1 -> 1, <=1.0 -> 3, +inf -> 4.
+        assert sample["buckets"] == [[0.1, 1], [1.0, 3], [math.inf, 4]]
+
+    def test_quantile_returns_bucket_bound(self):
+        h = Registry().histogram("repro_lag_seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.05, 0.5, 2.0):
+            h.observe(v)
+        assert h._default.quantile(0.5) == 0.1
+        assert h._default.quantile(0.99) == 10.0
+        assert Registry().histogram("repro_x").labels().quantile(0.5) == 0.0
+
+    def test_bucket_bounds_must_increase(self):
+        with pytest.raises(MetricError):
+            Registry().histogram("repro_x", buckets=(1.0, 0.5))
+        with pytest.raises(MetricError):
+            Registry().histogram("repro_x", buckets=(1.0, 1.0))
+
+    def test_exponential_buckets(self):
+        b = exponential_buckets(0.001, 2.0, 4)
+        assert b == (0.001, 0.002, 0.004, 0.008)
+        for bad in ((0, 2, 4), (0.1, 1.0, 4), (0.1, 2.0, 0)):
+            with pytest.raises(MetricError):
+                exponential_buckets(*bad)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        reg = Registry()
+        assert reg.counter("repro_a_total") is reg.counter("repro_a_total")
+
+    def test_kind_clash_rejected(self):
+        reg = Registry()
+        reg.counter("repro_a_total")
+        with pytest.raises(MetricError):
+            reg.gauge("repro_a_total")
+
+    def test_label_clash_rejected(self):
+        reg = Registry()
+        reg.counter("repro_a_total", labels=("kind",))
+        with pytest.raises(MetricError):
+            reg.counter("repro_a_total", labels=("site",))
+
+    def test_invalid_names_rejected(self):
+        reg = Registry()
+        with pytest.raises(MetricError):
+            reg.counter("0bad")
+        with pytest.raises(MetricError):
+            reg.counter("repro_ok_total", labels=("bad-label",))
+
+    def test_collector_families_merge_by_name(self):
+        reg = Registry()
+        reg.counter("repro_shared_total", labels=("who",)).labels(
+            who="direct"
+        ).inc(3)
+        reg.register_collector(lambda: [
+            family("repro_shared_total", "counter", "",
+                   [({"who": "pulled"}, 7)]),
+        ])
+        (fam,) = [f for f in reg.collect() if f["name"] == "repro_shared_total"]
+        got = {s["labels"]["who"]: s["value"] for s in fam["samples"]}
+        assert got == {"direct": 3.0, "pulled": 7.0}
+
+    def test_unregister_collector(self):
+        reg = Registry()
+        col = reg.register_collector(
+            lambda: [family("repro_x_total", "counter", "", [({}, 1)])]
+        )
+        assert any(f["name"] == "repro_x_total" for f in reg.collect())
+        reg.unregister_collector(col)
+        assert not any(f["name"] == "repro_x_total" for f in reg.collect())
+
+    def test_family_rejects_histogram_kind(self):
+        with pytest.raises(MetricError):
+            family("repro_x", "histogram")
+
+    def test_reset_zeroes_direct_metrics(self):
+        reg = Registry()
+        reg.counter("repro_a_total").inc(5)
+        reg.reset()
+        assert reg.counter("repro_a_total").samples() == []
+
+
+class TestSnapshots:
+    def _snap(self, counter=1.0, gauge=2.0):
+        reg = Registry()
+        reg.counter("repro_c_total").inc(counter)
+        reg.gauge("repro_g").set(gauge)
+        h = reg.histogram("repro_h_seconds", buckets=(1.0,))
+        h.observe(0.5)
+        return reg.snapshot()
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        reg = Registry()
+        reg.counter("repro_c_total").inc(4)
+        path = str(tmp_path / "snap.json")
+        reg.save(path)
+        snap = load_snapshot(path)
+        (fam,) = [f for f in snap["metrics"] if f["name"] == "repro_c_total"]
+        assert fam["samples"][0]["value"] == 4
+
+    def test_load_rejects_non_snapshot(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(MetricError):
+            load_snapshot(str(path))
+
+    def test_merge_sums_counters_gauges_take_last(self):
+        merged = merge_snapshots(self._snap(1, 10), self._snap(2, 20))
+        by_name = {f["name"]: f for f in merged["metrics"]}
+        assert by_name["repro_c_total"]["samples"][0]["value"] == 3.0
+        assert by_name["repro_g"]["samples"][0]["value"] == 20.0
+        hist = by_name["repro_h_seconds"]["samples"][0]
+        assert hist["count"] == 2
+        assert hist["buckets"][0][1] == 2
+
+    def test_diff_subtracts_counters_and_histograms(self):
+        before, after = self._snap(1, 10), self._snap(5, 99)
+        diff = diff_snapshots(before, after)
+        by_name = {f["name"]: f for f in diff["metrics"]}
+        assert by_name["repro_c_total"]["samples"][0]["value"] == 4.0
+        assert by_name["repro_g"]["samples"][0]["value"] == 99.0
+        assert by_name["repro_h_seconds"]["samples"][0]["count"] == 0
+
+
+class TestPrometheusText:
+    def test_counter_gauge_and_histogram_lines(self):
+        reg = Registry()
+        reg.counter("repro_c_total", "a counter", labels=("kind",)).labels(
+            kind="read"
+        ).inc(2)
+        reg.histogram("repro_h_seconds", buckets=(0.1,)).observe(0.05)
+        text = render_prometheus(reg)
+        assert "# HELP repro_c_total a counter" in text
+        assert "# TYPE repro_c_total counter" in text
+        assert 'repro_c_total{kind="read"} 2' in text
+        assert 'repro_h_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_h_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_h_seconds_sum 0.05" in text
+        assert "repro_h_seconds_count 1" in text
+
+    def test_label_values_escaped(self):
+        reg = Registry()
+        reg.counter("repro_c_total", labels=("p",)).labels(
+            p='val"ue\nx\\y'
+        ).inc()
+        text = render_prometheus(reg)
+        assert 'p="val\\"ue\\nx\\\\y"' in text
+
+    def test_renders_snapshot_dict_identically(self):
+        reg = Registry()
+        reg.counter("repro_c_total").inc()
+        assert render_prometheus(reg.snapshot()) == render_prometheus(reg)
+
+    def test_snapshot_rows_flatten(self):
+        reg = Registry()
+        reg.counter("repro_c_total", labels=("kind",)).labels(kind="x").inc(2)
+        reg.histogram("repro_h_seconds", buckets=(1.0,)).observe(0.5)
+        rows = snapshot_rows(
+            reg.snapshot(), kinds=("counter", "gauge", "histogram")
+        )
+        as_map = {(r["metric"], r["labels"]): r["value"] for r in rows}
+        assert as_map[("repro_c_total", "kind=x")] == 2
+        assert as_map[("repro_h_seconds_count", "")] == 1
+
+
+class TestModuleFactories:
+    def test_factories_target_explicit_registry(self):
+        reg = Registry()
+        c = Counter("repro_f_total", registry=reg)
+        g = Gauge("repro_f_gauge", registry=reg)
+        h = Histogram("repro_f_seconds", registry=reg)
+        assert reg.get("repro_f_total") is c
+        assert reg.get("repro_f_gauge") is g
+        assert reg.get("repro_f_seconds") is h
