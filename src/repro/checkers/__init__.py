@@ -73,6 +73,11 @@ from repro.checkers.threshold import (
 )
 from repro.checkers.tsc import check_tsc, check_tsc_direct
 
+# The WAL-to-history loader lives with the store (it understands the
+# on-disk formats) but is a checker input builder, so it is part of this
+# namespace too: feed a recovered log straight to check_tsc/check_tcc.
+from repro.store.recovery import history_from_wal
+
 __all__ = [
     "CONTAINMENTS",
     "CheckResult",
@@ -111,6 +116,7 @@ __all__ = [
     "find_site_ordered_serialization",
     "find_site_ordered_serialization_recursive",
     "hierarchy_violations",
+    "history_from_wal",
     "lin_equals_tsc_zero",
     "restrict_edges",
     "satisfies_session_guarantees",

@@ -293,12 +293,32 @@ def cmd_serve(args: argparse.Namespace) -> int:
             from repro.obs.metrics import Registry
 
             registry = Registry()
+        store = None
+        if args.store_dir:
+            import os
+
+            from repro.store import DurableStore
+
+            # REPRO_STORE_CRASH_AFTER is the crash-test fault injection:
+            # SIGKILL ourselves after N WAL appends, i.e. between a
+            # write's append and its acknowledgement.
+            crash_after = os.environ.get("REPRO_STORE_CRASH_AFTER")
+            store = DurableStore(
+                args.store_dir,
+                fsync=args.fsync,
+                recovery_delta=args.recovery_delta,
+                registry=registry,
+                crash_after_appends=(
+                    int(crash_after) if crash_after else None
+                ),
+            )
         server = NetObjectServer(
             args.host, args.port,
             propagation=args.propagation, latency=args.latency,
             recorder=recorder,
             registry=registry,
             metric_labels={"role": "server"} if registry is not None else None,
+            store=store,
         )
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -308,6 +328,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
             except (NotImplementedError, RuntimeError):
                 pass  # non-main thread or unsupported platform
         await server.start()
+        if server.recovered is not None and not server.recovered.empty:
+            r = server.recovered
+            print(f"recovered {len(r.objects)} objects from {args.store_dir} "
+                  f"({r.replayed_records} log records"
+                  f"{', snapshot' if r.snapshot_loaded else ''}"
+                  f"{', clean' if r.clean_start else ''}), "
+                  f"context={r.context:.3f}, resume t={r.resume_time:.3f}, "
+                  f"{len(r.old_objects)} versions marked old")
         metrics = None
         if registry is not None:
             from repro.obs.expo import MetricsServer
@@ -581,15 +609,37 @@ def cmd_ring_serve_set(args: argparse.Namespace) -> int:
                 host, port = host or args.host, int(port)
             else:
                 host, port = args.host, args.base_port + index
+            store = None
+            if args.store_dir:
+                import os
+
+                from repro.store import DurableStore
+
+                store = DurableStore(
+                    os.path.join(args.store_dir, f"dev{dev_id}"),
+                    fsync=args.fsync,
+                    recovery_delta=args.recovery_delta,
+                    registry=registry,
+                    metric_labels=(
+                        {"store": f"dev{dev_id}"} if registry is not None
+                        else None
+                    ),
+                )
             server = NetObjectServer(
                 host, port, propagation=args.propagation,
                 registry=registry,
                 metric_labels={"device": dev_id} if registry is not None
                 else None,
+                store=store,
             )
             await server.start()
             servers.append(server)
-            print(f"device {dev_id}: serving on {server.address}")
+            recovered = ""
+            if server.recovered is not None and not server.recovered.empty:
+                recovered = (f" (recovered {len(server.recovered.objects)} "
+                             f"objects, {len(server.recovered.old_objects)} "
+                             f"old)")
+            print(f"device {dev_id}: serving on {server.address}{recovered}")
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
@@ -643,6 +693,7 @@ def cmd_ring_soak(args: argparse.Namespace) -> int:
         write_quorum=args.quorum, read_policy=args.read_policy,
         add_device_midway=args.grow,
         registry=registry, metrics_port=args.metrics_port,
+        store_root=args.store_dir, fsync=args.fsync,
     )
     rows = []
     load = report.ring.load()
@@ -702,6 +753,150 @@ def cmd_ring_soak(args: argparse.Namespace) -> int:
         registry.save(args.metrics_snapshot)
         print(f"wrote registry snapshot to {args.metrics_snapshot}")
     return 0 if ok else 1
+
+
+def _store_summary(state) -> dict:
+    """JSON-able description of a store directory's state."""
+    kinds: dict = {}
+    for record in state.wal.records:
+        kind = str(record.get("k"))
+        kinds[kind] = kinds.get(kind, 0) + 1
+    return {
+        "root": state.root,
+        "objects": len(state.objects),
+        "context": state.context,
+        "last_time": state.last_time,
+        "clean": state.clean,
+        "recoverable": state.recoverable,
+        "snapshot": {
+            "present": state.snapshot_state is not None,
+            "error": state.snapshot_error,
+            "taken_at": (
+                state.snapshot_state["taken_at"]
+                if state.snapshot_state else None
+            ),
+            "clean": (
+                bool(state.snapshot_state.get("clean"))
+                if state.snapshot_state else False
+            ),
+        },
+        "wal": {
+            "records": len(state.wal.records),
+            "records_by_kind": kinds,
+            "good_bytes": state.wal.good_bytes,
+            "tail_bytes": state.wal.tail_bytes,
+            "tail_error": state.wal.tail_error,
+        },
+    }
+
+
+def cmd_store_inspect(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.store import load_state
+
+    state = load_state(args.dir)
+    summary = _store_summary(state)
+    if args.json:
+        if args.objects:
+            summary["object_versions"] = {
+                obj: {"value": v.value, "alpha": v.alpha,
+                      "omega": v.omega, "writer": v.writer}
+                for obj, v in sorted(state.objects.items())
+            }
+        print(json.dumps(summary, indent=1, sort_keys=True))
+        return 0
+    snap = summary["snapshot"]
+    wal = summary["wal"]
+    print(f"store {state.root}: {summary['objects']} objects, "
+          f"context={state.context:.3f}, last persisted t={state.last_time:.3f}")
+    if snap["error"]:
+        print(f"snapshot: CORRUPT ({snap['error']})")
+    elif snap["present"]:
+        print(f"snapshot: taken at t={snap['taken_at']:.3f}"
+              f"{' (clean shutdown)' if snap['clean'] else ''}")
+    else:
+        print("snapshot: none")
+    by_kind = ", ".join(
+        f"{count} {kind}" for kind, count in sorted(wal["records_by_kind"].items())
+    ) or "empty"
+    print(f"wal: {wal['records']} records ({by_kind}), "
+          f"{wal['good_bytes']} bytes")
+    if wal["tail_bytes"]:
+        print(f"wal tail: {wal['tail_bytes']} unusable bytes "
+              f"({wal['tail_error']}) — recovery will quarantine them")
+    if args.objects and state.objects:
+        print_table([
+            {"obj": obj, "value": v.value, "alpha": round(v.alpha, 4),
+             "omega": round(v.omega, 4), "writer": v.writer}
+            for obj, v in sorted(state.objects.items())
+        ], title="recovered object versions")
+    return 0
+
+
+def cmd_store_verify(args: argparse.Namespace) -> int:
+    """Exit 0 when the store recovers, 1 under ``--strict`` when recovery
+    would have to discard bytes, 2 when committed state is lost."""
+    from repro.store import load_state
+
+    state = load_state(args.dir)
+    problems = []
+    if state.snapshot_error is not None:
+        problems.append(f"snapshot: {state.snapshot_error}")
+    if state.wal.tail_bytes:
+        problems.append(
+            f"wal: {state.wal.tail_bytes} torn-tail bytes "
+            f"({state.wal.tail_error})"
+        )
+    old = []
+    if args.delta is not None:
+        bound = state.last_time - args.delta
+        old = sorted(
+            obj for obj, v in state.objects.items() if v.omega < bound
+        )
+    if not state.recoverable:
+        print(f"UNRECOVERABLE {args.dir}: corrupt snapshot and no "
+              "write-ahead log to rebuild from")
+        for problem in problems:
+            print(f"  {problem}")
+        return 2
+    status = "OK" if not problems else "RECOVERABLE"
+    print(f"{status} {args.dir}: {len(state.objects)} objects, "
+          f"{state.write_records} logged writes, "
+          f"context={state.context:.3f}")
+    for problem in problems:
+        print(f"  {problem}")
+    if args.delta is not None:
+        print(f"  recovery at delta={args.delta:g} would mark "
+              f"{len(old)} versions old"
+              + (f": {', '.join(old)}" if old else ""))
+    if problems and args.strict:
+        return 1
+    return 0
+
+
+def cmd_store_compact(args: argparse.Namespace) -> int:
+    """Offline compaction: recover, write one clean snapshot, truncate
+    the log.  The next start then replays nothing."""
+    import os
+
+    from repro.store import DurableStore
+
+    wal_path = os.path.join(args.dir, "wal.log")
+    before = os.path.getsize(wal_path) if os.path.exists(wal_path) else 0
+    store = DurableStore(args.dir, fsync="always")
+    recovered = store.open()
+    store.snapshot(
+        recovered.objects, recovered.context,
+        now=recovered.resume_time, clean=True,
+    )
+    store.close()
+    after = os.path.getsize(wal_path)
+    print(f"compacted {args.dir}: {len(recovered.objects)} objects "
+          f"into the snapshot, wal {before} -> {after} bytes"
+          + (f", quarantined {recovered.quarantined_bytes} torn bytes"
+             if recovered.quarantined_bytes else ""))
+    return 0
 
 
 def cmd_obs_dump(args: argparse.Namespace) -> int:
@@ -867,6 +1062,17 @@ def build_parser() -> argparse.ArgumentParser:
                          "(0 for ephemeral)")
     p_serve.add_argument("--grace", type=float, default=2.0,
                          help="drain grace period on shutdown (s)")
+    p_serve.add_argument("--store-dir", default=None,
+                         help="durable store directory: WAL + snapshots, "
+                         "recovered on start (docs/STORE.md)")
+    p_serve.add_argument("--fsync", choices=["always", "interval", "never"],
+                         default="interval",
+                         help="WAL durability policy (default: interval)")
+    p_serve.add_argument("--recovery-delta", type=float,
+                         default=float("inf"),
+                         help="freshness bound used by recovery: versions "
+                         "unvalidated for longer are marked old "
+                         "(default: infinity — restore only)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_client = sub.add_parser("client", help="run a workload against a server")
@@ -962,6 +1168,16 @@ def build_parser() -> argparse.ArgumentParser:
                          "device (0 for ephemeral)")
     r_serve.add_argument("--grace", type=float, default=2.0,
                          help="drain grace period on shutdown (s)")
+    r_serve.add_argument("--store-dir", default=None,
+                         help="root for per-device durable stores "
+                         "(<dir>/dev<id>; docs/STORE.md)")
+    r_serve.add_argument("--fsync", choices=["always", "interval", "never"],
+                         default="interval",
+                         help="WAL durability policy (default: interval)")
+    r_serve.add_argument("--recovery-delta", type=float,
+                         default=float("inf"),
+                         help="freshness bound used by recovery "
+                         "(default: infinity — restore only)")
     r_serve.set_defaults(func=cmd_ring_serve_set)
 
     r_soak = ring_sub.add_parser(
@@ -998,7 +1214,42 @@ def build_parser() -> argparse.ArgumentParser:
     r_soak.add_argument("--metrics-snapshot", default=None, metavar="FILE",
                         help="save the final registry snapshot as JSON "
                         "(implies --metrics; inspect via repro obs dump)")
+    r_soak.add_argument("--store-dir", default=None,
+                        help="give every server a durable store under "
+                        "<dir>/dev<id>; the --grow handoff then streams "
+                        "from the on-disk snapshots")
+    r_soak.add_argument("--fsync", choices=["always", "interval", "never"],
+                        default="interval",
+                        help="WAL durability policy (default: interval)")
     r_soak.set_defaults(func=cmd_ring_soak)
+
+    p_store = sub.add_parser(
+        "store", help="durable store maintenance (docs/STORE.md)")
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+
+    s_inspect = store_sub.add_parser(
+        "inspect", help="summarize a store directory (snapshot, WAL, state)")
+    s_inspect.add_argument("dir", help="store directory")
+    s_inspect.add_argument("--objects", action="store_true",
+                           help="also list the recovered object versions")
+    s_inspect.add_argument("--json", action="store_true")
+    s_inspect.set_defaults(func=cmd_store_inspect)
+
+    s_verify = store_sub.add_parser(
+        "verify", help="check that a store recovers (exit 0/1/2)")
+    s_verify.add_argument("dir", help="store directory")
+    s_verify.add_argument("--delta", type=float, default=None,
+                          help="also report what recovery at this freshness "
+                          "bound would mark old")
+    s_verify.add_argument("--strict", action="store_true",
+                          help="exit 1 when recovery would discard bytes "
+                          "(torn WAL tail or corrupt snapshot)")
+    s_verify.set_defaults(func=cmd_store_verify)
+
+    s_compact = store_sub.add_parser(
+        "compact", help="fold the WAL into one clean snapshot (offline)")
+    s_compact.add_argument("dir", help="store directory")
+    s_compact.set_defaults(func=cmd_store_compact)
 
     p_obs = sub.add_parser(
         "obs", help="observability: snapshots, /metrics, diffs "

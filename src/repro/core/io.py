@@ -22,11 +22,65 @@ scalar; the unique-written-values assumption is validated on load.
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Dict, IO, List, Union
 
 from repro.clocks.vector import VectorTimestamp
 from repro.core.history import History
 from repro.core.operations import Operation, OpKind
+
+
+def atomic_write_text(path: str, text: str, fsync: bool = True) -> None:
+    """Write ``text`` to ``path`` via tmp + rename, so a reader (or a
+    crash) never observes a torn file.
+
+    The payload is fully written and (by default) fsynced to a sibling
+    ``<path>.tmp``, then moved over ``path`` with :func:`os.replace`,
+    which is atomic on POSIX.  Used by the store snapshots
+    (:mod:`repro.store.snapshot`) and registry snapshot saves
+    (:meth:`repro.obs.metrics.Registry.save`) — any file another process
+    may read while we rewrite it should go through here.
+    """
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    if fsync:
+        _fsync_directory(os.path.dirname(os.path.abspath(path)))
+
+
+def atomic_write_json(
+    path: str,
+    payload: Any,
+    *,
+    indent: int = 1,
+    sort_keys: bool = True,
+    fsync: bool = True,
+) -> None:
+    """Atomic (tmp + rename) JSON dump; see :func:`atomic_write_text`.
+
+    Serialization happens *before* the file is touched, so an
+    unserializable payload leaves any existing file intact.
+    """
+    text = json.dumps(payload, indent=indent, sort_keys=sort_keys)
+    atomic_write_text(path, text + "\n", fsync=fsync)
+
+
+def _fsync_directory(path: str) -> None:
+    """Best-effort fsync of a directory (persists the rename itself)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def operation_to_dict(op: Operation) -> Dict[str, Any]:

@@ -115,8 +115,16 @@ async def ring_cluster(
     add_device_midway: bool = False,
     host: str = "127.0.0.1",
     registry: Optional[object] = None,
+    store_root: Optional[str] = None,
+    fsync: str = "interval",
 ) -> RingReport:
     """Run one ring-routed cluster end to end; see the module docstring.
+
+    ``store_root`` gives every server a :class:`repro.store.DurableStore`
+    under ``<store_root>/dev<id>`` (WAL policy ``fsync``); the midway
+    handoff then streams moved objects from the on-disk snapshots/WALs
+    (:class:`repro.store.SnapshotCatalog`) rather than the donors' live
+    memory — the configuration that survives a donor crash.
 
     ``registry`` (a :class:`repro.obs.metrics.Registry`) instruments the
     whole cluster: every server and router binds its counters, and one
@@ -143,6 +151,22 @@ async def ring_cluster(
 
         instruments = TimedInstruments(registry, delta)
 
+    def device_store(dev_id: int):
+        if store_root is None:
+            return None
+        import os
+
+        from repro.store import DurableStore
+
+        return DurableStore(
+            os.path.join(store_root, f"dev{dev_id}"),
+            fsync=fsync,
+            registry=registry,
+            metric_labels=(
+                {"store": f"dev{dev_id}"} if registry is not None else None
+            ),
+        )
+
     server_skews = default_skews(n_servers + 1, server_skew)
     servers: Dict[int, NetObjectServer] = {}
     for dev_id in range(n_servers):
@@ -151,6 +175,7 @@ async def ring_cluster(
             clock=RebasedClock(offset=server_skews[dev_id]),
             registry=registry,
             metric_labels={"device": dev_id} if registry is not None else None,
+            store=device_store(dev_id),
         )
         await server.start()
         servers[dev_id] = server
@@ -198,6 +223,7 @@ async def ring_cluster(
             joiner = NetObjectServer(
                 host, 0, propagation="none",
                 clock=RebasedClock(offset=server_skews[new_id]),
+                store=device_store(new_id),
             )
             await joiner.start()
             servers[new_id] = joiner
@@ -221,9 +247,20 @@ async def ring_cluster(
             readers = [
                 asyncio.ensure_future(read_through_handoff(r)) for r in routers
             ]
+            snapshots = None
+            if store_root is not None:
+                import os
+
+                from repro.store import SnapshotCatalog
+
+                snapshots = SnapshotCatalog({
+                    dev_id: os.path.join(store_root, f"dev{dev_id}")
+                    for dev_id in servers
+                })
             try:
                 handoff = await rebalancer.handoff(
-                    moves, objects, ring, routers[0].placement.transport
+                    moves, objects, ring, routers[0].placement.transport,
+                    snapshots=snapshots,
                 )
             finally:
                 stop_reading.set()

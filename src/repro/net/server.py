@@ -85,6 +85,14 @@ class NetObjectServer:
     :class:`~repro.sim.trace.TraceRecorder` (server-side ground truth).
     Leave it ``None`` when the clients record their own writes, or the
     merged trace would contain duplicates.
+
+    ``store``, when given, is a :class:`repro.store.DurableStore`:
+    :meth:`start` recovers from it before accepting connections (the
+    version dict, the restored ``Context``, the resumed timescale, and
+    the recovered-*old* marks — see :mod:`repro.store.recovery`), every
+    installed write is WAL-logged *before* its acknowledgement, and the
+    graceful drain writes a final clean snapshot so the next start
+    replays nothing.
     """
 
     def __init__(
@@ -100,6 +108,7 @@ class NetObjectServer:
         fault_factory: Optional[Callable[[], FaultInjector]] = None,
         registry: Optional[Any] = None,
         metric_labels: Optional[Dict[str, Any]] = None,
+        store: Optional[Any] = None,
     ) -> None:
         if propagation not in PROPAGATION_POLICIES:
             raise ValueError(
@@ -117,6 +126,11 @@ class NetObjectServer:
         self.clock = clock if clock is not None else RebasedClock()
         self.fault_factory = fault_factory
         self.store: Dict[str, PhysicalVersion] = {}
+        self.durable = store
+        self.recovered: Optional[Any] = None
+        self.recovered_old: Set[str] = set()
+        self.revalidations = 0
+        self.context = 0.0
         self._lock = asyncio.Lock()
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: Set[FrameConnection] = set()
@@ -147,9 +161,24 @@ class NetObjectServer:
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> "NetObjectServer":
+        if self.durable is not None:
+            # Recover before accepting a single connection: state first,
+            # then resume the persistent timescale so install times keep
+            # increasing across the restart (a fresh RebasedClock would
+            # restart at zero and every new write would lose the
+            # latest-write-wins race against its own recovered past).
+            recovered = self.durable.open()
+            self.recovered = recovered
+            self.store.update(recovered.objects)
+            self.context = recovered.context
+            self.recovered_old = set(recovered.old_objects)
+            self.clock()  # pin the timescale's zero to server start
+            if isinstance(self.clock, RebasedClock):
+                self.clock.offset += recovered.resume_time
+        else:
+            self.clock()  # pin the timescale's zero to server start
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
-        self.clock()  # pin the timescale's zero to server start
         return self
 
     @property
@@ -194,6 +223,12 @@ class NetObjectServer:
                 await asyncio.wait_for(self._idle.wait(), grace)
             except asyncio.TimeoutError:
                 pass  # grace expired: close anyway, replies may be lost
+        if self.durable is not None:
+            # Clean-shutdown persistence, before the BYE frames: every
+            # acknowledged write fsynced, a final snapshot marked clean —
+            # the next start loads it and replays nothing.
+            async with self._lock:
+                self.durable.close_clean(self.store, self.context, self.clock())
         for conn in list(self._connections):
             try:
                 await conn.send({"kind": BYE, "reason": "server shutdown"})
@@ -210,6 +245,8 @@ class NetObjectServer:
             await conn.close()
         self._connections.clear()
         self._subscribers.clear()
+        if self.durable is not None:
+            self.durable.close(sync=True)  # no-op after a clean shutdown
         # The collector stays registered: a registry is scoped to one
         # deployment/run, and post-run snapshots must still carry the
         # server's final counters.  Unregister explicitly for reuse:
@@ -312,6 +349,17 @@ class NetObjectServer:
                 obj, self.initial_value, alpha=0.0, omega=0.0, writer=-1
             )
         version = self.store[obj]
+        if obj in self.recovered_old:
+            # Recovered-old version, first touch since the restart: the
+            # server is the object's single write authority and every
+            # acknowledged write was WAL-logged before its ack, so the
+            # replay was complete and nothing changed during the blind
+            # window — this touch re-proves the version current and the
+            # advance below becomes its new checking time.
+            self.recovered_old.discard(obj)
+            self.revalidations += 1
+            if self.durable is not None and self.durable.instruments is not None:
+                self.durable.instruments.on_revalidation()
         version.advance_omega(self.clock())
         return version
 
@@ -353,6 +401,16 @@ class NetObjectServer:
             current = self.store.get(obj)
             if current is None or install_time > current.alpha:
                 self.store[obj] = version.copy()
+                self.context = max(self.context, install_time)
+                self.recovered_old.discard(obj)  # overwritten, not stale
+                if self.durable is not None:
+                    # Log before the ack leaves this block: an
+                    # acknowledged write is always in the WAL, which is
+                    # what makes the recovery replay complete.
+                    self.durable.log_write(version)
+                    self.durable.maybe_snapshot(
+                        self.store, self.context, install_time
+                    )
         await conn.send({
             "kind": messages.WRITE_ACK, "req": frame.get("req"),
             "obj": obj, "alpha": install_time,

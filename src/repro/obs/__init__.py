@@ -30,6 +30,7 @@ from repro.obs.instruments import (
     EventTrace,
     OnTimeRatio,
     OnTimeVerdict,
+    StoreInstruments,
     TimedInstruments,
     VisibilityLag,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "OnTimeRatio",
     "OnTimeVerdict",
     "Registry",
+    "StoreInstruments",
     "TimedInstruments",
     "VisibilityLag",
     "bind_client_stats",

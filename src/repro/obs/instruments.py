@@ -381,6 +381,101 @@ class EventTrace:
         }
 
 
+class StoreInstruments:
+    """WAL / snapshot / recovery metrics for one :mod:`repro.store`
+    durable store.
+
+    Families carry a ``store`` label so several stores (one per ring
+    device, say) can share a registry.  The histogram is fed by the
+    WAL's ``on_fsync`` duration hook; the snapshot-age gauge is pulled
+    at scrape time from the store itself (:meth:`bind_snapshot_age`).
+    """
+
+    def __init__(self, registry: Registry, store: Any = "server") -> None:
+        self.registry = registry
+        label = {"store": str(store)}
+        self.fsync_seconds = registry.histogram(
+            "repro_store_fsync_seconds",
+            "Duration of WAL fsync calls (seconds)",
+            labels=("store",),
+            buckets=exponential_buckets(start=0.00001, count=16),
+        ).labels(**label)
+        self.wal_records = registry.counter(
+            "repro_store_wal_records_total",
+            "Records appended to the write-ahead log",
+            labels=("store",),
+        ).labels(**label)
+        self.wal_bytes = registry.counter(
+            "repro_store_wal_bytes_total",
+            "Bytes appended to the write-ahead log",
+            labels=("store",),
+        ).labels(**label)
+        self.snapshots = registry.counter(
+            "repro_store_snapshots_total",
+            "Compacted snapshots written",
+            labels=("store",),
+        ).labels(**label)
+        self._snapshot_age = registry.gauge(
+            "repro_store_snapshot_age_seconds",
+            "Wall seconds since the last snapshot (+inf when none)",
+            labels=("store",),
+        ).labels(**label)
+        self.recoveries = registry.counter(
+            "repro_store_recoveries_total",
+            "Recovery (open) events",
+            labels=("store",),
+        ).labels(**label)
+        self.recovery_seconds = registry.counter(
+            "repro_store_recovery_seconds_total",
+            "Wall time spent in recovery",
+            labels=("store",),
+        ).labels(**label)
+        self.replayed_records = registry.counter(
+            "repro_store_replayed_records_total",
+            "WAL records replayed during recoveries",
+            labels=("store",),
+        ).labels(**label)
+        self.quarantined_bytes = registry.counter(
+            "repro_store_quarantined_bytes_total",
+            "Corrupt WAL-tail bytes quarantined during recoveries",
+            labels=("store",),
+        ).labels(**label)
+        self.old_versions = registry.counter(
+            "repro_store_old_marked_total",
+            "Versions marked old at recovery (checking time < t - delta)",
+            labels=("store",),
+        ).labels(**label)
+        self.revalidations = registry.counter(
+            "repro_store_revalidations_total",
+            "Recovered-old versions re-proved current on first touch",
+            labels=("store",),
+        ).labels(**label)
+
+    def on_fsync(self, seconds: float) -> None:
+        self.fsync_seconds.observe(seconds)
+
+    def on_append(self, nbytes: int) -> None:
+        self.wal_records.inc()
+        self.wal_bytes.inc(nbytes)
+
+    def on_snapshot(self) -> None:
+        self.snapshots.inc()
+
+    def on_revalidation(self) -> None:
+        self.revalidations.inc()
+
+    def on_recovery(self, recovered: Any) -> None:
+        """Record one :class:`~repro.store.recovery.RecoveredState`."""
+        self.recoveries.inc()
+        self.recovery_seconds.inc(max(recovered.recovery_seconds, 0.0))
+        self.replayed_records.inc(recovered.replayed_records)
+        self.quarantined_bytes.inc(recovered.quarantined_bytes)
+        self.old_versions.inc(len(recovered.old_objects))
+
+    def bind_snapshot_age(self, fn) -> None:
+        self._snapshot_age.set_function(fn)
+
+
 class TimedInstruments:
     """The bundle a live stack wires into its read/write completions.
 

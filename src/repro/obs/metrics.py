@@ -426,9 +426,11 @@ class Registry:
         return {"version": 1, "metrics": self.collect()}
 
     def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(self.snapshot(), fh, indent=1, sort_keys=True)
-            fh.write("\n")
+        """Persist :meth:`snapshot` atomically (tmp + rename), so a
+        scraper or a crash mid-save never observes a torn JSON file."""
+        from repro.core.io import atomic_write_json
+
+        atomic_write_json(path, self.snapshot(), fsync=False)
 
     def reset(self) -> None:
         """Zero every direct metric (families and collectors survive)."""

@@ -46,6 +46,37 @@ class HandoffReport:
     partitions_touched: int
     objects_copied: int
     objects_missing: int  #: moved objects the source had never stored
+    retries: int = 0  #: transient-failure retries that were attempted
+    objects_from_snapshot: int = 0  #: copies served by the snapshot catalog
+
+
+async def _with_retry(
+    operation: Callable[[], Any],
+    *,
+    retries: int,
+    backoff: float,
+    max_backoff: float,
+) -> Tuple[Any, int]:
+    """Run ``operation`` with bounded retry and capped exponential
+    backoff (the client clock-sync handshake discipline applied to
+    handoff I/O).  Returns ``(result, retries_used)``; the final
+    failure propagates.  :class:`KeyError` is a *definitive* answer
+    ("this device never stored that object"), not a transient fault, so
+    it propagates immediately."""
+    wait = backoff
+    used = 0
+    for attempt in range(retries + 1):
+        try:
+            return await operation(), used
+        except (asyncio.CancelledError, KeyError):
+            raise
+        except Exception:
+            if attempt == retries:
+                raise
+            used += 1
+            await asyncio.sleep(wait)
+            wait = min(wait * 2.0, max_backoff)
+    raise AssertionError("unreachable")
 
 
 def diff_rings(old: Ring, new: Ring) -> List[PartitionMove]:
@@ -69,6 +100,11 @@ async def replay_handoff(
     objects: Iterable[str],
     old_ring: Ring,
     transport: Any,
+    *,
+    snapshots: Optional[Any] = None,
+    retries: int = 3,
+    backoff: float = 0.05,
+    max_backoff: float = 1.0,
 ) -> HandoffReport:
     """Copy every moved object from its old device to its new one.
 
@@ -77,31 +113,70 @@ async def replay_handoff(
     source read failure for an object the device never stored is counted
     but not fatal — the destination will serve the initial value, which
     is only correct for never-written objects, hence the counter.
+
+    Each read and write is attempted up to ``1 + retries`` times with
+    capped exponential backoff (``backoff`` doubling up to
+    ``max_backoff``), so one transient connection error no longer aborts
+    the whole handoff; the attempts used are summed in
+    ``HandoffReport.retries``.
+
+    ``snapshots``, when given, is a
+    :class:`repro.store.SnapshotCatalog` (anything with
+    ``read(device, obj)`` raising :class:`KeyError` for never-stored
+    objects): source reads come from the durable stores instead of the
+    source's live memory, so a rebalance away from a *crashed* device
+    still copies real values.  An object the catalog lacks falls back to
+    the live transport (the store may be newer than its catalog load).
     """
     moves = list(moves)
     by_partition: Dict[int, List[PartitionMove]] = {}
     for move in moves:
         by_partition.setdefault(move.partition, []).append(move)
-    copied = missing = 0
+    copied = missing = retried = from_snapshot = 0
     touched = set()
+    _absent = object()
     for obj in objects:
         part = old_ring.partition_for(obj)
         for move in by_partition.get(part, ()):
             touched.add(part)
-            try:
-                value = await transport.read(move.src, obj)
-            except asyncio.CancelledError:
-                raise
-            except Exception:
-                missing += 1
-                continue
-            await transport.write(move.dst, obj, value)
+            value = _absent
+            if snapshots is not None:
+                try:
+                    value = snapshots.read(move.src, obj)
+                    from_snapshot += 1
+                except KeyError:
+                    pass  # not durably recorded: fall back to live memory
+            if value is _absent:
+                try:
+                    value, used = await _with_retry(
+                        lambda: transport.read(move.src, obj),
+                        retries=retries, backoff=backoff,
+                        max_backoff=max_backoff,
+                    )
+                    retried += used
+                except asyncio.CancelledError:
+                    raise
+                except KeyError:
+                    missing += 1  # definitive: never stored there
+                    continue
+                except Exception:
+                    retried += retries  # exhausted the retry budget
+                    missing += 1
+                    continue
+            send = value  # bind for the closure below
+            _, used = await _with_retry(
+                lambda: transport.write(move.dst, obj, send),
+                retries=retries, backoff=backoff, max_backoff=max_backoff,
+            )
+            retried += used
             copied += 1
     return HandoffReport(
         moves=len(moves),
         partitions_touched=len(touched),
         objects_copied=copied,
         objects_missing=missing,
+        retries=retried,
+        objects_from_snapshot=from_snapshot,
     )
 
 
@@ -151,5 +226,8 @@ class Rebalancer:
         objects: Iterable[str],
         old_ring: Ring,
         transport: Any,
+        **kwargs: Any,
     ) -> HandoffReport:
-        return await replay_handoff(moves, objects, old_ring, transport)
+        return await replay_handoff(
+            moves, objects, old_ring, transport, **kwargs
+        )

@@ -1,0 +1,268 @@
+"""The append-only write-ahead log.
+
+One file of length-prefixed JSON records — the same codec discipline as
+the wire frames of :mod:`repro.net.framing`, hardened for disk with a
+checksum: every record is
+
+    +----------------+----------------+----------------------------------+
+    | 4 bytes        | 4 bytes        | N bytes                          |
+    | N (big-endian) | CRC32(payload) | UTF-8 JSON object                |
+    +----------------+----------------+----------------------------------+
+
+The length prefix makes record boundaries explicit (a record is either
+whole or it is the torn tail of a crash); the CRC catches the torn tail
+*and* bit rot inside an otherwise well-framed record.  JSON keeps the
+log debuggable — ``repro store inspect`` is a pretty-printer, but so is
+``xxd`` plus squinting.
+
+Durability is a policy, not a constant (the classic group-commit
+trade-off; cf. Redis AOF ``appendfsync``):
+
+* ``"always"``   — fsync after every append; an acknowledged write
+  survives an immediate power cut.
+* ``"interval"`` — fsync at most once per ``fsync_interval`` seconds
+  (appends in between are written to the OS but not forced); bounds the
+  loss window to the interval while amortizing the fsync cost.
+* ``"never"``    — never fsync explicitly; the OS flushes when it
+  pleases.  Fastest, weakest, and exactly what the in-memory seed did.
+
+Recovery (:func:`replay` / :meth:`WriteAheadLog.open_recovered`) reads
+the longest well-formed prefix.  On the first malformed record —
+truncated header, truncated payload, CRC mismatch, undecodable JSON —
+the prefix is kept, the remaining bytes are moved to a ``*.quarantine``
+sidecar (never silently destroyed: a human can audit what the crash
+ate), and the log is truncated back to the good prefix so appends resume
+at a clean boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+_HEADER = struct.Struct(">II")  # payload length, CRC32(payload)
+
+#: A record larger than this is corruption, not data (mirrors the frame
+#: cap of :mod:`repro.net.framing`).
+MAX_RECORD_BYTES = 1 << 20
+
+FSYNC_POLICIES = ("always", "interval", "never")
+
+
+class WalError(Exception):
+    """A malformed WAL record or a misused log handle."""
+
+
+def encode_record(record: Dict[str, Any]) -> bytes:
+    """Serialize one record to ``length || crc || JSON`` bytes."""
+    payload = json.dumps(record, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    if len(payload) > MAX_RECORD_BYTES:
+        raise WalError(f"record of {len(payload)} bytes exceeds {MAX_RECORD_BYTES}")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_record(payload: bytes, crc: int) -> Dict[str, Any]:
+    """Parse one record payload, verifying its checksum."""
+    if zlib.crc32(payload) != crc:
+        raise WalError("record CRC mismatch")
+    try:
+        record = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WalError(f"undecodable record: {exc}") from None
+    if not isinstance(record, dict):
+        raise WalError(f"record is not a JSON object: {type(record).__name__}")
+    return record
+
+
+@dataclass
+class ReplayResult:
+    """What a replay recovered, and where (and why) it stopped."""
+
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    good_bytes: int = 0  #: length of the well-formed prefix
+    tail_bytes: int = 0  #: bytes past the prefix (0 for a clean log)
+    tail_error: Optional[str] = None  #: why the tail is unusable
+
+    @property
+    def clean(self) -> bool:
+        return self.tail_bytes == 0
+
+
+def replay(path: str) -> ReplayResult:
+    """Read the longest well-formed prefix of a WAL file.
+
+    Never raises on corruption and never mutates the file: the result
+    reports the good records, the prefix length, and the size/cause of
+    any unusable tail.  A missing file replays as empty.
+    """
+    result = ReplayResult()
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except FileNotFoundError:
+        return result
+    at = 0
+    while at < len(data):
+        if at + _HEADER.size > len(data):
+            result.tail_error = "truncated record header"
+            break
+        length, crc = _HEADER.unpack_from(data, at)
+        if length > MAX_RECORD_BYTES:
+            result.tail_error = f"announced record of {length} bytes"
+            break
+        end = at + _HEADER.size + length
+        if end > len(data):
+            result.tail_error = "truncated record payload"
+            break
+        try:
+            record = decode_record(data[at + _HEADER.size:end], crc)
+        except WalError as exc:
+            result.tail_error = str(exc)
+            break
+        result.records.append(record)
+        at = end
+    result.good_bytes = at
+    result.tail_bytes = len(data) - at
+    return result
+
+
+def quarantine_tail(path: str, result: ReplayResult) -> Optional[str]:
+    """Move a corrupt tail to a ``*.quarantine-<n>`` sidecar and truncate
+    the log to its good prefix.  Returns the sidecar path (None when the
+    log was already clean)."""
+    if result.clean:
+        return None
+    with open(path, "rb") as fh:
+        fh.seek(result.good_bytes)
+        tail = fh.read()
+    n = 0
+    while True:
+        sidecar = f"{path}.quarantine-{n}"
+        if not os.path.exists(sidecar):
+            break
+        n += 1
+    with open(sidecar, "wb") as fh:
+        fh.write(tail)
+        fh.flush()
+        os.fsync(fh.fileno())
+    with open(path, "r+b") as fh:
+        fh.truncate(result.good_bytes)
+        fh.flush()
+        os.fsync(fh.fileno())
+    return sidecar
+
+
+class WriteAheadLog:
+    """An open, appendable WAL file with a configurable fsync policy.
+
+    ``on_fsync`` (when given) is called with each fsync's duration in
+    seconds — the hook :class:`repro.obs.instruments.StoreInstruments`
+    feeds its latency histogram from.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        fsync: str = "interval",
+        fsync_interval: float = 0.05,
+        on_fsync: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if fsync_interval <= 0:
+            raise ValueError(
+                f"fsync_interval must be positive, got {fsync_interval}"
+            )
+        self.path = path
+        self.fsync = fsync
+        self.fsync_interval = fsync_interval
+        self.on_fsync = on_fsync
+        self.records_appended = 0
+        self.bytes_appended = 0
+        self.fsyncs = 0
+        self._fh = open(path, "ab")
+        self._last_sync = time.monotonic()
+        self._dirty = False
+
+    @classmethod
+    def open_recovered(
+        cls, path: str, **kwargs: Any
+    ) -> Tuple["WriteAheadLog", ReplayResult, Optional[str]]:
+        """Replay ``path``, quarantine any corrupt tail, and open the
+        clean prefix for appending: ``(log, replay_result, sidecar)``."""
+        result = replay(path)
+        sidecar = quarantine_tail(path, result)
+        return cls(path, **kwargs), result, sidecar
+
+    @property
+    def size(self) -> int:
+        """Current log length in bytes."""
+        return os.path.getsize(self.path)
+
+    def append(self, record: Dict[str, Any]) -> int:
+        """Append one record; returns the bytes written.  Whether the
+        record is *durable* on return depends on the fsync policy."""
+        if self._fh.closed:
+            raise WalError(f"log {self.path} is closed")
+        data = encode_record(record)
+        self._fh.write(data)
+        self._fh.flush()  # out of the process: a plain crash loses nothing
+        self._dirty = True
+        self.records_appended += 1
+        self.bytes_appended += len(data)
+        if self.fsync == "always":
+            self._sync()
+        elif self.fsync == "interval":
+            if time.monotonic() - self._last_sync >= self.fsync_interval:
+                self._sync()
+        return len(data)
+
+    def flush(self, sync: bool = True) -> None:
+        """Flush buffered records; ``sync`` forces them to stable storage
+        regardless of policy (the shutdown path uses this)."""
+        if self._fh.closed:
+            return
+        self._fh.flush()
+        if sync and self._dirty:
+            self._sync()
+
+    def _sync(self) -> None:
+        started = time.perf_counter()
+        os.fsync(self._fh.fileno())
+        elapsed = time.perf_counter() - started
+        self._last_sync = time.monotonic()
+        self._dirty = False
+        self.fsyncs += 1
+        if self.on_fsync is not None:
+            self.on_fsync(elapsed)
+
+    def truncate(self) -> None:
+        """Drop every record (a snapshot has superseded them)."""
+        if self._fh.closed:
+            raise WalError(f"log {self.path} is closed")
+        self._fh.truncate(0)
+        self._fh.seek(0)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._last_sync = time.monotonic()
+        self._dirty = False
+
+    def close(self, sync: bool = True) -> None:
+        if self._fh.closed:
+            return
+        self.flush(sync=sync)
+        self._fh.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

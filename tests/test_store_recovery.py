@@ -1,0 +1,467 @@
+"""Crash recovery: state, timescale, and timed-consistency metadata.
+
+Three layers of confidence:
+
+* :class:`TestDurableStore` — the recovery rules in isolation (context
+  restore, old-marking at Δ, timescale monotonicity, corrupt-snapshot
+  fallback, compaction);
+* :class:`TestServerRecovery` — a real TCP server wired to a store:
+  write, drop the server without ceremony, restart from the directory,
+  and the revived server must serve the old values, keep time moving
+  forward, and re-prove old-marked versions on first touch;
+* :class:`TestCrashRecoveryEndToEnd` — the satellite's full scenario:
+  SIGKILL a serve *subprocess* between WAL append and acknowledgement,
+  restart it from ``--store-dir``, and prove with the offline checker
+  that the merged client+recovered history still satisfies TSC.
+"""
+
+import asyncio
+import math
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.checkers import check_tsc, history_from_wal
+from repro.core.history import History
+from repro.net.client import NetCacheClient, NetError
+from repro.net.server import NetObjectServer
+from repro.protocol.versions import PhysicalVersion
+from repro.sim.trace import TraceRecorder
+from repro.store import DurableStore, SnapshotCatalog, load_state
+
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+class TestDurableStore:
+    def _seeded(self, root, values=(("x", "s1.1", 1.0), ("y", "s1.2", 2.0))):
+        store = DurableStore(str(root), fsync="always")
+        store.open(now_wall=1000.0)
+        for obj, value, t in values:
+            store.log_write(PhysicalVersion(obj, value, t, t, 1))
+        store.close()
+
+    def test_fresh_store_is_empty(self, tmp_path):
+        store = DurableStore(str(tmp_path))
+        recovered = store.open(now_wall=1000.0)
+        store.close()
+        assert recovered.empty
+        assert recovered.objects == {}
+        assert recovered.resume_time == 0.0
+
+    def test_replay_restores_latest_write_per_object(self, tmp_path):
+        self._seeded(tmp_path, values=(
+            ("x", "s1.1", 1.0), ("x", "s1.2", 1.5), ("y", "s1.3", 2.0),
+        ))
+        recovered = DurableStore(str(tmp_path)).open(now_wall=1000.5)
+        assert recovered.objects["x"].value == "s1.2"
+        assert recovered.objects["x"].alpha == 1.5
+        assert recovered.objects["y"].value == "s1.3"
+        assert recovered.replayed_records >= 3
+
+    def test_resume_time_is_monotone_across_restarts(self, tmp_path):
+        # Created at wall 1000 -> timescale zero; reopened at wall 1007
+        # -> the store's clock must resume at >= 7 even though the
+        # process restarted (and >= every persisted instant even if the
+        # wall clock stepped backwards).
+        self._seeded(tmp_path)
+        recovered = DurableStore(str(tmp_path)).open(now_wall=1007.0)
+        assert recovered.resume_time == pytest.approx(7.0)
+        backwards = DurableStore(str(tmp_path)).open(now_wall=900.0)
+        assert backwards.resume_time >= recovered.resume_time - 1e-9
+
+    def test_context_restore_rule(self, tmp_path):
+        # Context := max(persisted, t_restart - delta): with delta=2 and
+        # a restart at t=10, the revived node may not claim a context
+        # older than 8 no matter what it persisted.
+        self._seeded(tmp_path)
+        # An infinite delta restores the persisted context untouched.
+        plain = DurableStore(str(tmp_path)).open(now_wall=1010.0)
+        assert plain.context == pytest.approx(2.0)
+        recovered = DurableStore(
+            str(tmp_path), recovery_delta=2.0
+        ).open(now_wall=1010.0)
+        assert recovered.resume_time == pytest.approx(10.0)
+        assert recovered.context == pytest.approx(8.0)
+        # Context is monotone and durable: the raised value was logged
+        # by the recovery event, so a later open cannot regress it.
+        assert DurableStore(str(tmp_path)).open(
+            now_wall=1010.0
+        ).context == pytest.approx(8.0)
+
+    def test_old_marking_at_delta(self, tmp_path):
+        # x was last known current at omega=1, y at omega=9.5; a restart
+        # at t=10 with delta=2 can vouch only for y.
+        store = DurableStore(str(tmp_path), fsync="always")
+        store.open(now_wall=1000.0)
+        store.log_write(PhysicalVersion("x", "s1.1", 1.0, 1.0, 1))
+        store.log_write(PhysicalVersion("y", "s1.2", 9.5, 9.5, 1))
+        store.close()
+        recovered = DurableStore(
+            str(tmp_path), recovery_delta=2.0
+        ).open(now_wall=1010.0)
+        assert recovered.old_objects == {"x"}
+
+    def test_corrupt_snapshot_quarantined_and_wal_replayed(self, tmp_path):
+        store = DurableStore(str(tmp_path), fsync="always", snapshot_every=2)
+        store.open(now_wall=1000.0)
+        store.log_write(PhysicalVersion("x", "s1.1", 1.0, 1.0, 1))
+        store.log_write(PhysicalVersion("x", "s1.2", 2.0, 2.0, 1))
+        # Two appends crossed snapshot_every: the snapshot is written
+        # and the WAL truncated behind it.
+        assert store.maybe_snapshot(
+            {"x": PhysicalVersion("x", "s1.2", 2.0, 2.0, 1)}, 2.0, 2.0
+        ) is True
+        store.log_write(PhysicalVersion("y", "s1.3", 3.0, 3.0, 1))
+        store.close()
+        snapshot_path = str(tmp_path / "snapshot.json")
+        with open(snapshot_path, "w") as fh:
+            fh.write("{torn")
+        recovered = DurableStore(str(tmp_path)).open(now_wall=1003.0)
+        # The corrupt snapshot is moved aside, and recovery proceeds
+        # from what the log still holds (the suffix after compaction).
+        assert recovered.snapshot_quarantined is not None
+        assert "y" in recovered.objects
+        assert os.path.exists(snapshot_path + ".corrupt-0")
+
+    def test_clean_close_needs_no_replay(self, tmp_path):
+        store = DurableStore(str(tmp_path), fsync="always")
+        store.open(now_wall=1000.0)
+        store.log_write(PhysicalVersion("x", "s1.1", 1.0, 1.0, 1))
+        store.close_clean(
+            {"x": PhysicalVersion("x", "s1.1", 1.0, 1.5, 1)}, 1.5, 1.5
+        )
+        state = load_state(str(tmp_path))
+        assert state.clean
+        recovered = DurableStore(str(tmp_path)).open(now_wall=1002.0)
+        assert recovered.clean_start
+        assert recovered.replayed_records == 0
+        assert recovered.objects["x"].value == "s1.1"
+
+    def test_torn_tail_quarantined_on_open(self, tmp_path):
+        self._seeded(tmp_path)
+        with open(tmp_path / "wal.log", "ab") as fh:
+            fh.write(b"\xff\xfe half a record")
+        recovered = DurableStore(str(tmp_path)).open(now_wall=1001.0)
+        assert recovered.wal_quarantined is not None
+        assert recovered.quarantined_bytes > 0
+        assert recovered.objects["x"].value == "s1.1"
+
+    def test_validation_errors(self, tmp_path):
+        with pytest.raises(ValueError):
+            DurableStore(str(tmp_path), recovery_delta=-1.0)
+        with pytest.raises(ValueError):
+            DurableStore(str(tmp_path), snapshot_every=0)
+        store = DurableStore(str(tmp_path))
+        with pytest.raises(RuntimeError):
+            store.log_write(PhysicalVersion("x", 1, 0.0, 0.0, 0))
+
+
+class TestHistoryFromWal:
+    def test_wal_only(self, tmp_path):
+        store = DurableStore(str(tmp_path), fsync="never")
+        store.open(now_wall=1000.0)
+        store.log_write(PhysicalVersion("x", "s0.1", 1.0, 1.0, 0))
+        store.log_write(PhysicalVersion("y", "s1.2", 2.0, 2.0, 1))
+        store.close()
+        history = history_from_wal(str(tmp_path))
+        ops = sorted(history.operations, key=lambda op: op.time)
+        assert [(op.site, op.obj, op.value, op.time) for op in ops] == [
+            (0, "x", "s0.1", 1.0), (1, "y", "s1.2", 2.0),
+        ]
+        assert all(op.is_write for op in ops)
+
+    def test_snapshot_writes_survive_compaction(self, tmp_path):
+        store = DurableStore(str(tmp_path), fsync="never")
+        recovered = store.open(now_wall=1000.0)
+        store.log_write(PhysicalVersion("x", "s0.1", 1.0, 1.0, 0))
+        store.snapshot(
+            {"x": PhysicalVersion("x", "s0.1", 1.0, 1.0, 0)}, 1.0, now=1.0
+        )
+        store.log_write(PhysicalVersion("x", "s0.2", 2.0, 2.0, 0))
+        store.close()
+        history = history_from_wal(str(tmp_path))
+        values = sorted(op.value for op in history.operations)
+        assert values == ["s0.1", "s0.2"]
+        assert recovered.empty
+
+    def test_initial_values_in_snapshot_are_not_writes(self, tmp_path):
+        store = DurableStore(str(tmp_path), fsync="never")
+        store.open(now_wall=1000.0)
+        # The implicit initial version (writer -1 at alpha 0) a server
+        # materializes on first read is state, not history.
+        store.snapshot(
+            {"x": PhysicalVersion("x", 0, 0.0, 3.0, -1)}, 3.0, now=3.0
+        )
+        store.close()
+        assert len(history_from_wal(str(tmp_path)).operations) == 0
+
+    def test_bare_wal_file_accepted(self, tmp_path):
+        store = DurableStore(str(tmp_path), fsync="never")
+        store.open(now_wall=1000.0)
+        store.log_write(PhysicalVersion("x", "s0.1", 1.0, 1.0, 0))
+        store.close()
+        history = history_from_wal(str(tmp_path / "wal.log"))
+        assert [op.value for op in history.operations] == ["s0.1"]
+
+
+class TestSnapshotCatalog:
+    def test_reads_durable_values_per_device(self, tmp_path):
+        for device, value in ((0, "s0.1"), (1, "s1.1")):
+            store = DurableStore(str(tmp_path / f"dev{device}"), fsync="never")
+            store.open(now_wall=1000.0)
+            store.log_write(PhysicalVersion("x", value, 1.0, 1.0, device))
+            store.close()
+        catalog = SnapshotCatalog({
+            0: str(tmp_path / "dev0"), 1: str(tmp_path / "dev1"),
+        })
+        assert catalog.read(0, "x") == "s0.1"
+        assert catalog.read(1, "x") == "s1.1"
+        with pytest.raises(KeyError):
+            catalog.read(0, "never-written")
+        with pytest.raises(KeyError):
+            catalog.read(9, "x")  # unknown device
+
+    def test_invalidate_reloads_from_disk(self, tmp_path):
+        root = str(tmp_path / "dev0")
+        store = DurableStore(root, fsync="always")
+        store.open(now_wall=1000.0)
+        store.log_write(PhysicalVersion("x", "s0.1", 1.0, 1.0, 0))
+        catalog = SnapshotCatalog({0: root})
+        assert catalog.read(0, "x") == "s0.1"
+        store.log_write(PhysicalVersion("x", "s0.2", 2.0, 2.0, 0))
+        store.close()
+        assert catalog.read(0, "x") == "s0.1"  # cached load
+        catalog.invalidate(0)
+        assert catalog.read(0, "x") == "s0.2"
+
+
+@pytest.mark.net
+class TestServerRecovery:
+    def test_restart_preserves_values_and_timescale(self, tmp_path):
+        root = str(tmp_path / "store")
+
+        async def first_life():
+            server = NetObjectServer(
+                propagation="none",
+                store=DurableStore(root, fsync="always"),
+            )
+            await server.start()
+            async with NetCacheClient(1, server.host, server.port) as client:
+                await client.write("x", "s1.1")
+                await client.write("y", "s1.2")
+                await client.write("x", "s1.3")
+            alpha = server.store["x"].alpha
+            # No shutdown(): the process just stops, as in a crash (the
+            # WAL was fsynced per append, so everything acked survives).
+            await server.close()
+            return alpha
+
+        async def second_life(old_alpha):
+            server = NetObjectServer(
+                propagation="none", store=DurableStore(root, fsync="always"),
+            )
+            await server.start()
+            assert server.recovered is not None
+            assert not server.recovered.clean_start
+            async with NetCacheClient(2, server.host, server.port) as client:
+                assert await client.read("x") == "s1.3"
+                assert await client.read("y") == "s1.2"
+                await client.write("x", "s2.1")
+                assert await client.read("x") == "s2.1"
+            new_alpha = server.store["x"].alpha
+            await server.close()
+            return new_alpha
+
+        old_alpha = asyncio.run(first_life())
+        new_alpha = asyncio.run(second_life(old_alpha))
+        # The resumed timescale must keep increasing across the restart,
+        # or the new write would have lost latest-write-wins silently.
+        assert new_alpha > old_alpha
+
+    def test_recovery_delta_marks_old_and_first_touch_revalidates(
+        self, tmp_path
+    ):
+        root = str(tmp_path / "store")
+
+        async def first_life():
+            server = NetObjectServer(
+                propagation="none", store=DurableStore(root, fsync="always"),
+            )
+            await server.start()
+            async with NetCacheClient(1, server.host, server.port) as client:
+                await client.write("x", "s1.1")
+            await server.close()
+
+        async def second_life():
+            # delta=0: nothing the store persisted can prove itself
+            # current at the restart instant, so everything is old.
+            server = NetObjectServer(
+                propagation="none",
+                store=DurableStore(root, recovery_delta=0.0),
+            )
+            await server.start()
+            assert server.recovered_old == {"x"}
+            async with NetCacheClient(2, server.host, server.port) as client:
+                assert await client.read("x") == "s1.1"
+            assert server.recovered_old == set()
+            assert server.revalidations == 1
+            await server.close()
+
+        asyncio.run(first_life())
+        time.sleep(0.02)
+        asyncio.run(second_life())
+
+    def test_graceful_shutdown_leaves_clean_store(self, tmp_path):
+        root = str(tmp_path / "store")
+
+        async def scenario():
+            server = NetObjectServer(
+                propagation="none", store=DurableStore(root, fsync="never"),
+            )
+            await server.start()
+            async with NetCacheClient(1, server.host, server.port) as client:
+                await client.write("x", "s1.1")
+            await server.shutdown(grace=1.0)
+
+        asyncio.run(scenario())
+        state = load_state(root)
+        # The drain wrote a final clean snapshot and truncated the WAL —
+        # even under fsync="never" — so the next start replays nothing.
+        assert state.clean
+        assert state.objects["x"].value == "s1.1"
+        recovered = DurableStore(root).open()
+        assert recovered.clean_start
+        assert recovered.replayed_records == 0
+
+    def test_ring_cluster_with_stores_and_snapshot_handoff(self, tmp_path):
+        from repro.net.ring_demo import ring_cluster
+
+        report = asyncio.run(ring_cluster(
+            n_servers=2, replicas=2, n_clients=2, rounds=8,
+            delta=math.inf, add_device_midway=True,
+            store_root=str(tmp_path), fsync="interval",
+        ))
+        assert report.tsc.satisfied
+        assert report.handoff is not None
+        # Every copied object came from the durable catalogs, which is
+        # the point: the donors' live memory was never consulted.
+        assert report.handoff.objects_from_snapshot > 0
+        assert report.handoff.objects_from_snapshot == \
+            report.handoff.objects_copied
+        for dev in range(2):
+            assert os.path.isdir(tmp_path / f"dev{dev}")
+
+
+@pytest.mark.net(timeout=90)
+class TestCrashRecoveryEndToEnd:
+    """SIGKILL a serve subprocess between WAL append and ACK; restart it
+    from the store; the merged client+recovered history must satisfy TSC
+    at the configured delta (the issue's acceptance criterion)."""
+
+    def _spawn_serve(self, store_dir, extra_args=(), crash_after=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        env.pop("REPRO_STORE_CRASH_AFTER", None)
+        if crash_after is not None:
+            env["REPRO_STORE_CRASH_AFTER"] = str(crash_after)
+        proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro", "serve",
+             "--port", "0", "--propagation", "none",
+             "--store-dir", store_dir, "--fsync", "always",
+             *extra_args],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            env=env, text=True,
+        )
+        port = None
+        for line in proc.stdout:
+            if line.startswith("serving on "):
+                port = int(line.split()[2].rsplit(":", 1)[1])
+                break
+        assert port is not None, "serve subprocess never reported its port"
+        return proc, port
+
+    def test_sigkill_restart_verify_and_tsc(self, tmp_path):
+        from repro.cli import main as cli_main
+
+        store_dir = str(tmp_path / "store")
+        recorder = TraceRecorder()
+
+        # -- first life: three writes; the third SIGKILLs the server
+        # after the WAL append, before the acknowledgement.
+        proc, port = self._spawn_serve(store_dir, crash_after=3)
+        try:
+            async def first_client():
+                async with NetCacheClient(
+                    1, "127.0.0.1", port, recorder=recorder,
+                    request_timeout=0.3,
+                ) as client:
+                    await client.write("x", "s1.1")
+                    await client.write("y", "s1.2")
+                    with pytest.raises((NetError, ConnectionError, OSError)):
+                        await client.write("x", "s1.3")
+
+            asyncio.run(first_client())
+        finally:
+            proc.kill()
+            proc.wait(timeout=10)
+        assert proc.returncode == -signal.SIGKILL
+
+        # -- the store must verify as recoverable despite the crash.
+        assert cli_main(["store", "verify", store_dir]) == 0
+
+        # Capture the WAL history *now*: the restart below will compact
+        # the log into a snapshot, which (by design) keeps only the
+        # latest version per object — the overwritten s1.3 write would
+        # no longer be reconstructable afterwards.
+        crash_history = history_from_wal(store_dir)
+        assert "s1.3" in [op.value for op in crash_history.operations]
+
+        # -- second life: restart from the store with a finite recovery
+        # delta; the un-acked write must have survived.
+        proc, port = self._spawn_serve(
+            store_dir, extra_args=("--recovery-delta", "5.0"),
+        )
+        try:
+            async def second_client():
+                async with NetCacheClient(
+                    2, "127.0.0.1", port, recorder=recorder,
+                ) as client:
+                    assert await client.read("x") == "s1.3"
+                    assert await client.read("y") == "s1.2"
+                    await client.write("x", "s2.1")
+                    assert await client.read("x") == "s2.1"
+
+            asyncio.run(second_client())
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=15) == 0  # graceful drain
+
+        # -- after the graceful exit the store is clean and still verifies.
+        assert cli_main(["store", "verify", store_dir, "--strict"]) == 0
+        assert load_state(store_dir).clean
+
+        # -- the acceptance bar: merge the clients' trace with the
+        # recovered WAL history (server-side ground truth, including the
+        # write whose ack the crash ate) and check TSC offline.
+        wal_history = history_from_wal(store_dir)
+        seen = set()
+        operations = []
+        for op in (
+            list(recorder.history(validate=False).operations)
+            + list(crash_history.operations)
+            + list(wal_history.operations)
+        ):
+            key = (op.kind, op.site, op.obj, op.value, op.time)
+            if op.is_write and key in seen:
+                continue
+            seen.add(key)
+            operations.append(op)
+        merged = History(operations, initial_value=0)
+        values = [op.value for op in merged.operations if op.is_write]
+        assert sorted(values) == ["s1.1", "s1.2", "s1.3", "s2.1"]
+        result = check_tsc(merged, delta=5.0)
+        assert result.satisfied, result.violation

@@ -1,0 +1,307 @@
+"""Unit tests for the store's on-disk primitives.
+
+The WAL (record codec, fsync policies, longest-well-formed-prefix
+replay, tail quarantine), the CRC-checked snapshots, and the shared
+atomic-write helper that both the snapshots and the metrics registry
+saves go through (a torn file must never be observable).
+"""
+
+import json
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.core.io import atomic_write_json, atomic_write_text
+from repro.obs.metrics import Registry, load_snapshot as load_metrics_snapshot
+from repro.protocol.versions import PhysicalVersion
+from repro.store import (
+    SnapshotError,
+    WalError,
+    WriteAheadLog,
+    encode_record,
+    load_snapshot,
+    quarantine_snapshot,
+    quarantine_tail,
+    replay,
+    state_from_versions,
+    versions_from_state,
+    write_snapshot,
+)
+
+_HEADER = struct.Struct(">II")
+
+
+def _append_raw(path, data: bytes) -> None:
+    with open(path, "ab") as fh:
+        fh.write(data)
+
+
+class TestWalRoundtrip:
+    def test_append_then_replay(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        records = [
+            {"k": "w", "obj": "x", "value": f"s0.{i}", "t": float(i)}
+            for i in range(10)
+        ]
+        with WriteAheadLog(path, fsync="never") as log:
+            for record in records:
+                log.append(record)
+        result = replay(path)
+        assert result.clean
+        assert result.records == records
+        assert result.good_bytes == os.path.getsize(path)
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        result = replay(str(tmp_path / "absent.log"))
+        assert result.clean
+        assert result.records == []
+
+    def test_fsync_policies(self, tmp_path):
+        for policy, expect_every in (("always", True), ("never", False)):
+            path = str(tmp_path / f"{policy}.log")
+            log = WriteAheadLog(path, fsync=policy)
+            for i in range(5):
+                log.append({"i": i})
+            if expect_every:
+                assert log.fsyncs == 5
+            else:
+                assert log.fsyncs == 0
+            log.close(sync=False)
+
+    def test_interval_policy_amortizes(self, tmp_path):
+        path = str(tmp_path / "interval.log")
+        log = WriteAheadLog(path, fsync="interval", fsync_interval=3600.0)
+        for i in range(50):
+            log.append({"i": i})
+        assert log.fsyncs == 0  # interval never elapsed
+        log.flush(sync=True)
+        assert log.fsyncs == 1  # the explicit flush forced one
+        log.close()
+
+    def test_fsync_hook_reports_durations(self, tmp_path):
+        durations = []
+        log = WriteAheadLog(
+            str(tmp_path / "wal.log"), fsync="always",
+            on_fsync=durations.append,
+        )
+        log.append({"a": 1})
+        log.append({"a": 2})
+        log.close()
+        assert len(durations) == 2
+        assert all(d >= 0 for d in durations)
+
+    def test_truncate_drops_everything(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = WriteAheadLog(path, fsync="never")
+        log.append({"a": 1})
+        log.truncate()
+        log.append({"a": 2})
+        log.close()
+        assert [r["a"] for r in replay(path).records] == [2]
+
+    def test_oversized_record_rejected(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path / "wal.log"))
+        with pytest.raises(WalError):
+            log.append({"blob": "x" * (1 << 21)})
+        log.close()
+
+    def test_closed_log_rejects_appends(self, tmp_path):
+        log = WriteAheadLog(str(tmp_path / "wal.log"))
+        log.close()
+        with pytest.raises(WalError):
+            log.append({"a": 1})
+
+    def test_bad_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(str(tmp_path / "wal.log"), fsync="sometimes")
+
+
+class TestWalCorruption:
+    """Satellite: truncated-tail and corrupt-CRC records must yield the
+    prefix, with the tail quarantined — never silently destroyed."""
+
+    def _write_records(self, path, n=5):
+        records = [{"k": "w", "obj": "x", "value": i, "t": float(i)}
+                   for i in range(n)]
+        with WriteAheadLog(path, fsync="never") as log:
+            for record in records:
+                log.append(record)
+        return records
+
+    def test_truncated_tail_recovers_prefix(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        records = self._write_records(path)
+        whole = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(whole - 3)  # tear the last record mid-payload
+        result = replay(path)
+        assert result.records == records[:-1]
+        assert result.tail_bytes > 0
+        assert "truncated" in result.tail_error
+
+    def test_truncated_header_recovers_prefix(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        records = self._write_records(path)
+        _append_raw(path, b"\x00\x00")  # half a header
+        result = replay(path)
+        assert result.records == records
+        assert result.tail_error == "truncated record header"
+
+    def test_corrupt_crc_last_record(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        records = self._write_records(path)
+        with open(path, "r+b") as fh:
+            fh.seek(-1, os.SEEK_END)
+            last = fh.read(1)
+            fh.seek(-1, os.SEEK_END)
+            fh.write(bytes([last[0] ^ 0xFF]))  # flip bits in the payload
+        result = replay(path)
+        assert result.records == records[:-1]
+        assert "CRC" in result.tail_error
+
+    def test_corrupt_record_mid_log_drops_suffix(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        good = encode_record({"a": 1})
+        # A well-framed record whose CRC lies.
+        payload = json.dumps({"a": 2}).encode()
+        bad = _HEADER.pack(len(payload), zlib.crc32(payload) ^ 1) + payload
+        with open(path, "wb") as fh:
+            fh.write(good + bad + encode_record({"a": 3}))
+        result = replay(path)
+        # Replay cannot trust anything after the first bad record: the
+        # prefix is one record, the suffix (bad + good) is the tail.
+        assert [r["a"] for r in result.records] == [1]
+        assert result.tail_bytes == len(bad) + len(encode_record({"a": 3}))
+
+    def test_insane_length_prefix_stops_replay(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        _append_raw(path, _HEADER.pack(1 << 30, 0) + b"xx")
+        result = replay(path)
+        assert result.records == []
+        assert "announced record" in result.tail_error
+
+    def test_quarantine_moves_tail_and_truncates(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        records = self._write_records(path)
+        _append_raw(path, b"garbage-bytes")
+        result = replay(path)
+        sidecar = quarantine_tail(path, result)
+        assert sidecar == f"{path}.quarantine-0"
+        with open(sidecar, "rb") as fh:
+            assert fh.read() == b"garbage-bytes"
+        assert os.path.getsize(path) == result.good_bytes
+        assert replay(path).records == records
+        # A second quarantine numbers its sidecar, never overwrites.
+        _append_raw(path, b"more-garbage")
+        sidecar2 = quarantine_tail(path, replay(path))
+        assert sidecar2 == f"{path}.quarantine-1"
+
+    def test_quarantine_of_clean_log_is_noop(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        self._write_records(path)
+        assert quarantine_tail(path, replay(path)) is None
+
+    def test_open_recovered_resumes_on_clean_boundary(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        records = self._write_records(path)
+        _append_raw(path, b"\xde\xad\xbe\xef")
+        log, result, sidecar = WriteAheadLog.open_recovered(path)
+        assert result.records == records
+        assert sidecar is not None
+        log.append({"k": "w", "obj": "y", "value": 1, "t": 9.0})
+        log.close()
+        replayed = replay(path)
+        assert replayed.clean
+        assert len(replayed.records) == len(records) + 1
+
+
+class TestSnapshot:
+    def _versions(self):
+        return {
+            "x": PhysicalVersion("x", "s1.4", 3.0, 4.5, 1),
+            "y": PhysicalVersion("y", 17, 2.0, 2.0, 0),
+        }
+
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "snapshot.json")
+        state = state_from_versions(
+            self._versions(), taken_at=5.0, context=4.0, clean=True
+        )
+        write_snapshot(path, state)
+        loaded = load_snapshot(path)
+        assert loaded == state
+        rebuilt = versions_from_state(loaded)
+        assert rebuilt["x"].value == "s1.4"
+        assert rebuilt["x"].alpha == 3.0
+        assert rebuilt["x"].omega == 4.5
+        assert rebuilt["y"].writer == 0
+
+    def test_missing_snapshot_is_none(self, tmp_path):
+        assert load_snapshot(str(tmp_path / "absent.json")) is None
+
+    def test_crc_mismatch_raises(self, tmp_path):
+        path = str(tmp_path / "snapshot.json")
+        write_snapshot(path, state_from_versions(
+            self._versions(), taken_at=1.0, context=1.0))
+        document = json.load(open(path))
+        document["state"]["objects"]["x"]["value"] = "tampered"
+        json.dump(document, open(path, "w"))
+        with pytest.raises(SnapshotError, match="CRC"):
+            load_snapshot(path)
+
+    def test_undecodable_snapshot_raises(self, tmp_path):
+        path = str(tmp_path / "snapshot.json")
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_quarantine_snapshot(self, tmp_path):
+        path = str(tmp_path / "snapshot.json")
+        with open(path, "w") as fh:
+            fh.write("junk")
+        sidecar = quarantine_snapshot(path)
+        assert sidecar == f"{path}.corrupt-0"
+        assert not os.path.exists(path)
+        assert quarantine_snapshot(path) is None  # nothing left to move
+
+    def test_write_is_atomic_no_tmp_left_behind(self, tmp_path):
+        path = str(tmp_path / "snapshot.json")
+        write_snapshot(path, state_from_versions(
+            self._versions(), taken_at=1.0, context=1.0))
+        assert not os.path.exists(path + ".tmp")
+
+
+class TestAtomicWrites:
+    """The shared helper and its registry-save call site (the
+    ``--metrics-snapshot`` torn-file fix)."""
+
+    def test_atomic_write_text(self, tmp_path):
+        path = str(tmp_path / "file.txt")
+        atomic_write_text(path, "one")
+        atomic_write_text(path, "two")
+        assert open(path).read() == "two"
+        assert not os.path.exists(path + ".tmp")
+
+    def test_unserializable_payload_leaves_existing_file_intact(self, tmp_path):
+        path = str(tmp_path / "file.json")
+        atomic_write_json(path, {"ok": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert json.load(open(path)) == {"ok": 1}  # old content survives
+
+    def test_registry_save_is_atomic(self, tmp_path):
+        path = str(tmp_path / "metrics.json")
+        registry = Registry()
+        registry.counter("repro_test_total", "t").inc(3)
+        registry.save(path)
+        snapshot = load_metrics_snapshot(path)
+        names = [fam["name"] for fam in snapshot["metrics"]]
+        assert "repro_test_total" in names
+        assert not os.path.exists(path + ".tmp")
+        # Overwrite goes through the same tmp+rename path.
+        registry.counter("repro_test_total").inc()
+        registry.save(path)
+        assert load_metrics_snapshot(path)["metrics"]
