@@ -319,6 +319,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             registry=registry,
             metric_labels={"role": "server"} if registry is not None else None,
             store=store,
+            inflight_limit=args.inflight_limit,
         )
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -413,6 +414,7 @@ def cmd_client(args: argparse.Namespace) -> int:
         client = NetCacheClient(
             args.client_id, args.host, args.port,
             delta=delta, mode=args.mode, recorder=recorder, skew=args.skew,
+            pipeline_depth=args.pipeline_depth, batch=args.batch,
         )
         await client.connect()
         rng = random.Random(args.seed + args.client_id)
@@ -694,6 +696,7 @@ def cmd_ring_soak(args: argparse.Namespace) -> int:
         add_device_midway=args.grow,
         registry=registry, metrics_port=args.metrics_port,
         store_root=args.store_dir, fsync=args.fsync,
+        pipeline_depth=args.pipeline_depth, batch=args.batch,
     )
     rows = []
     load = report.ring.load()
@@ -1068,6 +1071,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--fsync", choices=["always", "interval", "never"],
                          default="interval",
                          help="WAL durability policy (default: interval)")
+    p_serve.add_argument("--inflight-limit", type=int, default=None,
+                         help="max concurrently executing requests per "
+                         "connection; excess requests are shed with a busy "
+                         "frame the client reissues (default: unbounded)")
     p_serve.add_argument("--recovery-delta", type=float,
                          default=float("inf"),
                          help="freshness bound used by recovery: versions "
@@ -1090,6 +1097,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="mean think time between operations (s)")
     p_client.add_argument("--skew", type=float, default=0.0,
                           help="injected local clock skew (s), corrected by sync")
+    p_client.add_argument("--pipeline-depth", type=int, default=8,
+                          help="max requests in flight on the connection "
+                          "(default: 8)")
+    p_client.add_argument("--batch", type=int, default=0,
+                          help="coalesce up to N queued writes into one "
+                          "write-batch frame (0 disables)")
     p_client.add_argument("--seed", type=int, default=7)
     p_client.add_argument("--trace", default=None,
                           help="dump this client's recorded trace to a file")
@@ -1203,6 +1216,11 @@ def build_parser() -> argparse.ArgumentParser:
     r_soak.add_argument("--grow", action="store_true",
                         help="add a server mid-run: rebalance + handoff + "
                         "cutover, all inside the checked trace")
+    r_soak.add_argument("--pipeline-depth", type=int, default=8,
+                        help="per-device request pipelining depth")
+    r_soak.add_argument("--batch", type=int, default=0,
+                        help="client-side write coalescing for non-placement "
+                        "traffic (0 disables)")
     r_soak.add_argument("--seed", type=int, default=7)
     r_soak.add_argument("--metrics", action="store_true",
                         help="instrument the soak (live on-time ratio, "

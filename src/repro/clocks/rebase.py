@@ -37,7 +37,14 @@ class RebasedClock:
         if self._source is None:
             import asyncio
 
-            self._source = asyncio.get_event_loop().time
+            try:
+                self._source = asyncio.get_running_loop().time
+            except RuntimeError:
+                # No loop running (offline/sim use): fall back to the
+                # same monotonic clock the loop would use.
+                import time
+
+                self._source = time.monotonic
         return self._source()
 
     def pin(self) -> None:

@@ -38,11 +38,13 @@ from __future__ import annotations
 import asyncio
 import itertools
 import math
-from typing import Any, Dict, Optional
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.net.clocksync import SyncedClock
 from repro.net.faults import FaultInjector
 from repro.net.framing import (
+    BUSY,
     BYE,
     ERROR,
     HELLO,
@@ -102,6 +104,8 @@ class NetCacheClient:
         clock: Optional[SyncedClock] = None,
         registry: Optional[Any] = None,
         metric_labels: Optional[Dict[str, Any]] = None,
+        pipeline_depth: int = 8,
+        batch: int = 0,
     ) -> None:
         """``sync_retries`` bounds how often a failed connect/clock-sync
         handshake is redone (fresh connection, capped exponential backoff
@@ -121,7 +125,18 @@ class NetCacheClient:
         ``now - alpha`` — the quantity delta bounds), and the NTP
         estimator's offset/error export as gauges.  ``metric_labels``
         adds constant labels (e.g. ``device=<id>``) next to the implicit
-        ``site=<client_id>``."""
+        ``site=<client_id>``.
+
+        ``pipeline_depth`` bounds how many requests may be outstanding
+        over the one connection at a time (a semaphore; depth 1 is the
+        old lockstep behaviour).  A server ``busy`` frame is honored by
+        backing off and reissuing under the same request id.
+
+        ``batch`` > 1 turns on write coalescing: concurrent
+        :meth:`write` calls are drained into ``write-batch`` frames of
+        up to ``batch`` items, amortizing framing and the server's
+        log-before-ack fsync.  Each write still receives its own
+        server-assigned effective time."""
         if delta < 0:
             raise ValueError(f"delta must be non-negative, got {delta}")
         if mode not in FRESHNESS_MODES:
@@ -134,6 +149,10 @@ class NetCacheClient:
             raise ValueError(f"backoff must be >= 1, got {backoff}")
         if sync_retries < 0:
             raise ValueError(f"sync_retries must be non-negative, got {sync_retries}")
+        if pipeline_depth < 1:
+            raise ValueError(f"pipeline_depth must be >= 1, got {pipeline_depth}")
+        if batch < 0:
+            raise ValueError(f"batch must be non-negative, got {batch}")
         self.client_id = client_id
         self.host = host
         self.port = port
@@ -151,13 +170,24 @@ class NetCacheClient:
         self.context = 0.0
         self.stats = ClientStats()
         self.conn: Optional[FrameConnection] = None
+        self.pipeline_depth = pipeline_depth
+        self.batch = batch
         self._requests = itertools.count()
         self._pending: Dict[int, asyncio.Future] = {}
         self._recv_task: Optional[asyncio.Task] = None
+        # Pipelining: the semaphore bounds outstanding request ids over
+        # the one connection; ids themselves are never reused, so a
+        # reply that outlives its request cannot resolve a later future.
+        self._issue_slots = asyncio.Semaphore(pipeline_depth)
+        # Write coalescing: (obj, value, future, started) tuples drained
+        # by one flusher task into write-batch frames.
+        self._batch_queue: Deque[Tuple[str, Any, asyncio.Future, float]] = deque()
+        self._batch_flusher: Optional[asyncio.Task] = None
         self.registry = registry
         self._rtt = None
         self._push_lag = None
         self._clock_collector = None
+        self.pipeline = None
         if registry is not None:
             self._bind_metrics(metric_labels or {})
 
@@ -176,7 +206,10 @@ class NetCacheClient:
         # Pre-bound children: the request path does one dict lookup.
         self._rtt = {
             kind: rtt.labels(**labels, kind=kind)
-            for kind in (messages.FETCH, messages.VALIDATE, messages.WRITE, SYNC)
+            for kind in (
+                messages.FETCH, messages.VALIDATE, messages.WRITE,
+                messages.WRITE_BATCH, messages.VALIDATE_BATCH, SYNC,
+            )
         }
         self._push_lag = self.registry.histogram(
             "repro_net_push_lag_seconds",
@@ -197,6 +230,14 @@ class NetCacheClient:
             ]
 
         self._clock_collector = self.registry.register_collector(clock_collector)
+
+        from repro.obs.instruments import PipelineInstruments
+
+        self.pipeline = PipelineInstruments(
+            self.registry, side="client", labels=labels
+        )
+        self.pipeline.bind_outstanding(lambda: len(self._pending))
+        self.pipeline.bind_queue_depth(lambda: len(self._batch_queue))
 
     # -- connection lifecycle -------------------------------------------------
 
@@ -271,6 +312,13 @@ class NetCacheClient:
             self.clock.estimator.add_sample(reply["t0"], reply["t1"], reply["t2"], t3)
 
     async def close(self) -> None:
+        if self._batch_flusher is not None and not self._batch_flusher.done():
+            # Queued writes have futures their callers await: let the
+            # flusher drain them before the connection goes away.
+            try:
+                await self._batch_flusher
+            except Exception:
+                pass
         if self.conn is not None:
             try:
                 await self.conn.send({"kind": BYE})
@@ -377,14 +425,12 @@ class NetCacheClient:
         self._record_read(obj, value, start=started)
         return value
 
-    async def write(self, obj: str, value: Any) -> float:
-        """Write through; returns the server-assigned effective time."""
-        self.stats.writes += 1
-        started = self.now()
-        reply = await self._request({"kind": messages.WRITE, "obj": obj, "value": value})
-        if reply.get("kind") != messages.WRITE_ACK:
-            raise ProtocolError(f"bad write reply: {reply!r}")
-        alpha = float(reply["alpha"])
+    def _apply_write_ack(
+        self, obj: str, value: Any, alpha: float, started: float
+    ) -> float:
+        """The local half of a completed write: Rule 2, cache install,
+        trace record.  Shared by the single, batched, and coalesced
+        write paths."""
         version = PhysicalVersion(obj, value, alpha, alpha, self.client_id)
         # Rule 2: Context_i := the write's install time.
         self._advance_context(alpha)
@@ -398,6 +444,171 @@ class NetCacheClient:
                 self.client_id, obj, value, alpha, start=started, end=self.now()
             )
         return alpha
+
+    async def write(
+        self, obj: str, value: Any, *, req: Optional[int] = None
+    ) -> float:
+        """Write through; returns the server-assigned effective time.
+
+        ``req`` pins the request id (from :meth:`next_request_id`) so a
+        caller-level retry — e.g. the ring's anti-entropy re-push — hits
+        the server's reply cache instead of installing a second version.
+        A pinned write bypasses coalescing: a batch frame cannot carry a
+        per-write id.
+        """
+        if req is None and self.batch > 1:
+            return await self._write_coalesced(obj, value)
+        self.stats.writes += 1
+        started = self.now()
+        reply = await self._request(
+            {"kind": messages.WRITE, "obj": obj, "value": value}, req=req
+        )
+        if reply.get("kind") != messages.WRITE_ACK:
+            raise ProtocolError(f"bad write reply: {reply!r}")
+        return self._apply_write_ack(obj, value, float(reply["alpha"]), started)
+
+    def next_request_id(self) -> int:
+        """Allocate a request id for a pinned :meth:`write` (ids are
+        never reused; allocating without sending is safe)."""
+        return next(self._requests)
+
+    async def _write_coalesced(self, obj: str, value: Any) -> float:
+        """Queue the write for the flusher task; await its own ack."""
+        self.stats.writes += 1
+        started = self.now()
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._batch_queue.append((obj, value, future, started))
+        if self._batch_flusher is None or self._batch_flusher.done():
+            self._batch_flusher = asyncio.ensure_future(self._flush_batches())
+        return await future
+
+    async def _flush_batches(self) -> None:
+        """Drain the coalescing queue in write-batch frames of up to
+        ``batch`` items.  Writes queued while a frame is in flight form
+        the next frame — same-tick writes share one round trip."""
+        while self._batch_queue:
+            group = [
+                self._batch_queue.popleft()
+                for _ in range(min(len(self._batch_queue), self.batch))
+            ]
+            try:
+                acks = await self._send_write_batch(
+                    [(obj, value) for obj, value, _, _ in group]
+                )
+            except Exception as exc:
+                for _, _, future, _ in group:
+                    if not future.done():
+                        future.set_exception(exc)
+                continue
+            for (obj, value, future, started), alpha in zip(group, acks):
+                self._apply_write_ack(obj, value, alpha, started)
+                if not future.done():
+                    future.set_result(alpha)
+
+    async def _send_write_batch(
+        self, items: List[Tuple[str, Any]]
+    ) -> List[float]:
+        """One write-batch round trip; returns per-item alphas in order."""
+        reply = await self._request({
+            "kind": messages.WRITE_BATCH,
+            "writes": [{"obj": obj, "value": value} for obj, value in items],
+        })
+        if reply.get("kind") != messages.WRITE_BATCH_ACK:
+            raise ProtocolError(f"bad write-batch reply: {reply!r}")
+        acks = reply.get("acks")
+        if not isinstance(acks, list) or len(acks) != len(items):
+            raise ProtocolError(f"write-batch ack shape mismatch: {reply!r}")
+        self.stats.batched_writes += len(items)
+        if self.pipeline is not None:
+            self.pipeline.on_batch(len(items))
+        return [float(ack["alpha"]) for ack in acks]
+
+    async def write_many(self, items: Iterable[Tuple[str, Any]]) -> List[float]:
+        """Write several objects in one ``write-batch`` frame; returns
+        the server-assigned effective times in item order.  One round
+        trip, one server lock acquisition, one WAL fsync — each item
+        still gets its own effective time and Rule 2 is applied per ack."""
+        pairs = list(items)
+        if not pairs:
+            return []
+        self.stats.writes += len(pairs)
+        started = self.now()
+        acks = await self._send_write_batch(pairs)
+        return [
+            self._apply_write_ack(obj, value, alpha, started)
+            for (obj, value), alpha in zip(pairs, acks)
+        ]
+
+    async def validate_many(self, objs: Iterable[str]) -> Dict[str, Any]:
+        """Refresh several objects in one ``validate-batch`` frame;
+        returns ``{obj: value}``.
+
+        Objects with a usable cached entry are served locally (and
+        counted as fresh hits); the rest go in one frame — cached ones
+        as if-modified-since items, cold ones with a null ``alpha`` that
+        asks for the full version.  Each result is applied under the
+        same lifetime rules as :meth:`read` and recorded as a read."""
+        wanted = list(dict.fromkeys(objs))
+        if not wanted:
+            return {}
+        self.stats.reads += len(wanted)
+        if self.mode == "pull" and not math.isinf(self.delta):
+            self._advance_context(self.now() - self.delta)  # Rule 3, once
+        out: Dict[str, Any] = {}
+        remote: List[str] = []
+        for obj in wanted:
+            entry = self.cache.get(obj)
+            if entry is not None and self._usable(entry):
+                entry.hits += 1
+                self.stats.fresh_hits += 1
+                self.stats.read_latencies.append(0.0)
+                self._record_read(obj, entry.version.value, start=self.now())
+                out[obj] = entry.version.value
+            else:
+                remote.append(obj)
+        if not remote:
+            return out
+        started = self.now()
+        items = []
+        validated = set()
+        for obj in remote:
+            entry = self.cache.get(obj)
+            if entry is not None:
+                self.stats.validations += 1
+                validated.add(obj)
+                items.append({"obj": obj, "alpha": entry.version.alpha})
+            else:
+                self.stats.fetches += 1
+                items.append({"obj": obj, "alpha": None})
+        reply = await self._request({
+            "kind": messages.VALIDATE_BATCH, "items": items,
+        })
+        if reply.get("kind") != messages.VALIDATE_BATCH_ACK:
+            raise ProtocolError(f"bad validate-batch reply: {reply!r}")
+        results = reply.get("results")
+        if not isinstance(results, list) or len(results) != len(remote):
+            raise ProtocolError(f"validate-batch ack shape mismatch: {reply!r}")
+        if self.pipeline is not None:
+            self.pipeline.on_batch(len(remote))
+        for obj, result in zip(remote, results):
+            if result.get("kind") == messages.STILL_VALID:
+                entry = self.cache[obj]
+                entry.version.advance_omega(float(result["omega"]))
+                entry.old = False
+                self.stats.revalidated += 1
+                value = entry.version.value
+            elif result.get("kind") == messages.VERSION:
+                version = _version_from(result)
+                self._install(version)
+                if obj in validated:
+                    self.stats.refreshed += 1
+                value = version.value
+            else:
+                raise ProtocolError(f"bad validate-batch item: {result!r}")
+            self.stats.read_latencies.append(self.now() - started)
+            self._record_read(obj, value, start=started)
+            out[obj] = value
+        return out
 
     # -- server-initiated traffic ----------------------------------------------
 
@@ -422,44 +633,81 @@ class NetCacheClient:
 
     # -- transport --------------------------------------------------------------
 
+    #: Upper bound on consecutive busy reissues before the request fails
+    #: (a saturated-forever server should surface, not spin).
+    MAX_BUSY_RETRIES = 256
+
     async def _request(
-        self, message: Dict[str, Any], timeout: Optional[float] = None
+        self,
+        message: Dict[str, Any],
+        timeout: Optional[float] = None,
+        req: Optional[int] = None,
     ) -> Dict[str, Any]:
-        """Send a request; retransmit with exponential backoff until a
-        reply with the matching id arrives (duplicates are ignored)."""
+        """Issue a request down the pipeline; retransmit with exponential
+        backoff until a reply with the matching id arrives.
+
+        Up to ``pipeline_depth`` requests may be in flight at once (the
+        semaphore); ids are never reused, so duplicate and orphan replies
+        are recognized and dropped.  A ``busy`` reply means the server
+        shed the request *unexecuted*: back off briefly and reissue under
+        the same id.  ``req`` pins the id for caller-level idempotent
+        retries (the ring's repair path).
+        """
         if self.conn is None:
             raise NetError("client is not connected")
-        req = next(self._requests)
+        if req is None:
+            req = next(self._requests)
         message = dict(message, req=req)
-        future: asyncio.Future = asyncio.get_event_loop().create_future()
-        self._pending[req] = future
-        wait = timeout if timeout is not None else self.request_timeout
-        rtt_child = self._rtt.get(message["kind"]) if self._rtt else None
-        issued = self.clock.local() if rtt_child is not None else 0.0
-        try:
-            for attempt in range(self.max_retries + 1):
-                await self.conn.send(message)
-                try:
-                    reply = await asyncio.wait_for(asyncio.shield(future), wait)
-                except asyncio.TimeoutError:
-                    if attempt == self.max_retries:
-                        raise RequestTimeout(
-                            f"no reply to {message['kind']} #{req} after "
-                            f"{self.max_retries + 1} attempts"
-                        ) from None
-                    self.stats.retries += 1
-                    wait *= self.backoff
-                    continue
-                if reply.get("kind") == ERROR:
-                    raise ProtocolError(str(reply.get("error")))
-                if rtt_child is not None:
-                    rtt_child.observe(self.clock.local() - issued)
-                return reply
-            raise RequestTimeout(f"no reply to {message['kind']} #{req}")
-        finally:
-            self._pending.pop(req, None)
-            if not future.done():
-                future.cancel()
+        async with self._issue_slots:
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._pending[req] = future
+            wait = timeout if timeout is not None else self.request_timeout
+            rtt_child = self._rtt.get(message["kind"]) if self._rtt else None
+            issued = self.clock.local() if rtt_child is not None else 0.0
+            attempt = 0
+            busy_retries = 0
+            busy_wait = 0.005
+            try:
+                while True:
+                    await self.conn.send(message)
+                    try:
+                        reply = await asyncio.wait_for(asyncio.shield(future), wait)
+                    except asyncio.TimeoutError:
+                        if attempt == self.max_retries:
+                            raise RequestTimeout(
+                                f"no reply to {message['kind']} #{req} after "
+                                f"{self.max_retries + 1} attempts"
+                            ) from None
+                        attempt += 1
+                        self.stats.retries += 1
+                        wait *= self.backoff
+                        continue
+                    if reply.get("kind") == BUSY:
+                        # Shed unexecuted: same id, fresh future, capped
+                        # exponential backoff before the reissue.
+                        busy_retries += 1
+                        if busy_retries > self.MAX_BUSY_RETRIES:
+                            raise RequestTimeout(
+                                f"server busy for {message['kind']} #{req} "
+                                f"after {busy_retries} reissues"
+                            )
+                        self.stats.busy += 1
+                        if self.pipeline is not None:
+                            self.pipeline.on_busy()
+                        future = asyncio.get_running_loop().create_future()
+                        self._pending[req] = future
+                        await asyncio.sleep(busy_wait)
+                        busy_wait = min(busy_wait * self.backoff, wait)
+                        continue
+                    if reply.get("kind") == ERROR:
+                        raise ProtocolError(str(reply.get("error")))
+                    if rtt_child is not None:
+                        rtt_child.observe(self.clock.local() - issued)
+                    return reply
+            finally:
+                self._pending.pop(req, None)
+                if not future.done():
+                    future.cancel()
 
     async def _recv_loop(self) -> None:
         try:

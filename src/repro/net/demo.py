@@ -167,7 +167,7 @@ async def push_staleness_cluster(
         window = hold if hold is not None else max(push_delay, delta) + 0.3
 
         async def read_loop(reader: NetCacheClient) -> None:
-            loop = asyncio.get_event_loop()
+            loop = asyncio.get_running_loop()
             deadline = loop.time() + window
             while loop.time() < deadline:
                 await reader.read("x")

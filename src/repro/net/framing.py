@@ -42,6 +42,10 @@ SYNC = "sync"
 SYNC_ACK = "sync-ack"
 BYE = "bye"
 ERROR = "error"
+#: Server -> client backpressure: the request was shed *unexecuted*
+#: because the server's ``inflight_limit`` was reached; the client backs
+#: off and reissues under the same request id.
+BUSY = "busy"
 
 _LENGTH = struct.Struct(">I")
 

@@ -117,6 +117,8 @@ async def ring_cluster(
     registry: Optional[object] = None,
     store_root: Optional[str] = None,
     fsync: str = "interval",
+    pipeline_depth: int = 8,
+    batch: int = 0,
 ) -> RingReport:
     """Run one ring-routed cluster end to end; see the module docstring.
 
@@ -190,6 +192,7 @@ async def ring_cluster(
             delta=delta, write_quorum=write_quorum, read_policy=read_policy,
             recorder=recorder, skew=client_skews[i],
             registry=registry, instruments=instruments,
+            pipeline_depth=pipeline_depth, batch=batch,
         )
         for i in range(n_clients)
     ]

@@ -34,7 +34,9 @@ the acceptance tests.
 from __future__ import annotations
 
 import asyncio
+import logging
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -49,6 +51,8 @@ from repro.sim.trace import TraceRecorder
 
 READ_POLICIES = ("primary", "spread")
 
+logger = logging.getLogger(__name__)
+
 
 @dataclass
 class RouterStats:
@@ -57,18 +61,47 @@ class RouterStats:
     reads: int = 0
     writes: int = 0
     off_ring_reads: int = 0  #: reads served by a device outside the replica set
+    anti_entropy_errors: int = 0  #: anti-entropy loop deaths (non-cancellation)
     reads_by_device: Dict[int, int] = field(default_factory=dict)
     writes_by_device: Dict[int, int] = field(default_factory=dict)
 
 
 class _ClientTransport:
-    """Bridges :class:`ReplicatedPlacement` onto per-device clients."""
+    """Bridges :class:`ReplicatedPlacement` onto per-device clients.
+
+    Dedup-aware: the placement engine tags each logical write's fan-out
+    copies with one token; the first attempt per ``(device, token)``
+    pins a fresh request id and retries (anti-entropy re-pushes) reuse
+    it, so the device's reply cache replays a lost ack instead of
+    installing a second version with a second effective time.
+    """
+
+    #: Bound on remembered (device, token) -> request id pins; entries
+    #: clear on success, this cap only matters for writes that keep
+    #: failing past the repair engine's give-up point.
+    MAX_PINNED = 4096
 
     def __init__(self, router: "RingRouter") -> None:
         self.router = router
+        self._pinned: "OrderedDict[Tuple[int, str], int]" = OrderedDict()
 
-    async def write(self, device_id: int, obj: str, value: Any) -> float:
-        alpha = await self.router.clients[device_id].write(obj, value)
+    async def write(
+        self, device_id: int, obj: str, value: Any,
+        dedup: Optional[str] = None,
+    ) -> float:
+        client = self.router.clients[device_id]
+        req: Optional[int] = None
+        if dedup is not None:
+            key = (device_id, dedup)
+            req = self._pinned.get(key)
+            if req is None:
+                req = client.next_request_id()
+                self._pinned[key] = req
+                while len(self._pinned) > self.MAX_PINNED:
+                    self._pinned.popitem(last=False)
+        alpha = await client.write(obj, value, req=req)
+        if dedup is not None:
+            self._pinned.pop((device_id, dedup), None)
         stats = self.router.stats.writes_by_device
         stats[device_id] = stats.get(device_id, 0) + 1
         return alpha
@@ -114,6 +147,8 @@ class RingRouter:
         fault_injectors: Optional[Dict[int, FaultInjector]] = None,
         registry: Optional[Any] = None,
         instruments: Optional[Any] = None,
+        pipeline_depth: int = 8,
+        batch: int = 0,
     ) -> None:
         if read_policy not in READ_POLICIES:
             raise ValueError(
@@ -127,6 +162,8 @@ class RingRouter:
         self.endpoints = dict(endpoints)
         self.delta = delta
         self.read_policy = read_policy
+        self.pipeline_depth = pipeline_depth
+        self.batch = batch
         self.recorder = recorder
         self.stats = RouterStats()
         # One local clock shared by every per-device estimator: offsets
@@ -147,6 +184,7 @@ class RingRouter:
                 faults=injectors.get(dev_id),
                 registry=registry,
                 metric_labels={"device": dev_id} if registry is not None else None,
+                pipeline_depth=pipeline_depth, batch=batch,
             )
         self.reference = min(self.clients)
         self.placement = ReplicatedPlacement(
@@ -206,6 +244,8 @@ class RingRouter:
         self, dev_id: int, host: str, port: int, **kwargs
     ) -> None:
         """Open a connection to a device about to join the ring."""
+        kwargs.setdefault("pipeline_depth", self.pipeline_depth)
+        kwargs.setdefault("batch", self.batch)
         client = NetCacheClient(
             self.client_id, host, port,
             delta=self.delta, recorder=None,
@@ -294,8 +334,11 @@ class RingRouter:
         self.stats.writes += 1
         started = self.now()
         outcome = await self.placement.write(obj, value)
-        primary = self.ring.primary_for(obj)
-        alpha_ref = outcome.alpha + self.offset_to_reference(primary)
+        # Rebase with the device that actually served as primary.  The
+        # ring may have been swapped while the write was in flight
+        # (concurrent rebalance); re-asking it now could name a device
+        # whose clock offset has nothing to do with outcome.alpha.
+        alpha_ref = outcome.alpha + self.offset_to_reference(outcome.primary)
         if self.recorder is not None:
             self.recorder.record_write(
                 self.client_id, obj, value, alpha_ref,
@@ -317,15 +360,33 @@ class RingRouter:
             self._anti_entropy_task = asyncio.ensure_future(
                 self.placement.anti_entropy_loop(period)
             )
+            # Surface a loop death the moment it happens — a silently
+            # dead anti-entropy loop means replicas quietly stop
+            # converging within delta.
+            self._anti_entropy_task.add_done_callback(self._anti_entropy_done)
+
+    def _anti_entropy_done(self, task: asyncio.Task) -> None:
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            self.stats.anti_entropy_errors += 1
+            logger.warning(
+                "anti-entropy loop of site %s died: %r", self.client_id, exc
+            )
 
     async def stop_anti_entropy(self) -> None:
-        if self._anti_entropy_task is not None:
-            self._anti_entropy_task.cancel()
-            try:
-                await self._anti_entropy_task
-            except (asyncio.CancelledError, Exception):
-                pass
-            self._anti_entropy_task = None
+        task = self._anti_entropy_task
+        if task is None:
+            return
+        self._anti_entropy_task = None
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass  # the cancellation we just requested
+        except Exception:
+            pass  # already counted and logged by _anti_entropy_done
 
     # -- reporting -------------------------------------------------------------
 

@@ -10,8 +10,19 @@
   of large objects");
 * ``write``    -> ``write-ack``      (synchronous install; the install
   instant on the *server's* clock is the write's effective time);
+* ``write-batch`` / ``validate-batch`` -> per-item acks (one lock
+  acquisition and one WAL append for the whole frame; every item still
+  gets its own effective time);
 * ``push`` / ``invalidate``          (server-initiated propagation to
   subscribed clients, per the ``propagation`` policy).
+
+Requests are executed **exactly once**: a per-client LRU reply cache
+keyed ``(client_id, req)`` replays answered requests, so a write whose
+ack was lost is installed once and every retransmission returns the
+original ``alpha``.  ``inflight_limit`` bounds concurrently executing
+requests; excess frames are shed *unexecuted* with a ``busy`` reply the
+client honors by backing off and reissuing under the same id
+(docs/NET_PROTOCOL.md).
 
 Plus the transport handshake: ``hello``/``hello-ack`` and the NTP-style
 ``sync``/``sync-ack`` exchange of :mod:`repro.net.clocksync`.
@@ -39,11 +50,13 @@ sharding seam a multi-server deployment will plug into.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Callable, Dict, Optional, Set
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.clocks.rebase import RebasedClock
 from repro.net.faults import FaultInjector
 from repro.net.framing import (
+    BUSY,
     BYE,
     ERROR,
     HELLO,
@@ -71,6 +84,40 @@ def version_payload(version: PhysicalVersion) -> Dict[str, Any]:
         "omega": version.omega,
         "writer": version.writer,
     }
+
+
+class ReplyCache:
+    """An LRU of ``(client_id, req) -> reply frame`` — the server half of
+    exactly-once request semantics.
+
+    A client retransmits under the *same* request id; looking the id up
+    here turns re-execution into replay, so a write whose ack was lost
+    is installed once and every retransmission returns the original
+    ``alpha`` (each write keeps one effective time ``T(w)``, Definition 1).
+    Keyed by ``client_id`` rather than the connection so the replay
+    survives a reconnect.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[int, int], Dict[str, Any]]" = OrderedDict()
+
+    def get(self, key: Tuple[int, int]) -> Optional[Dict[str, Any]]:
+        reply = self._entries.get(key)
+        if reply is not None:
+            self._entries.move_to_end(key)
+        return reply
+
+    def put(self, key: Tuple[int, int], reply: Dict[str, Any]) -> None:
+        self._entries[key] = reply
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 class NetObjectServer:
@@ -109,6 +156,8 @@ class NetObjectServer:
         registry: Optional[Any] = None,
         metric_labels: Optional[Dict[str, Any]] = None,
         store: Optional[Any] = None,
+        inflight_limit: Optional[int] = None,
+        reply_cache_size: int = 1024,
     ) -> None:
         if propagation not in PROPAGATION_POLICIES:
             raise ValueError(
@@ -117,6 +166,10 @@ class NetObjectServer:
             )
         if latency < 0:
             raise ValueError(f"latency must be non-negative, got {latency}")
+        if inflight_limit is not None and inflight_limit < 1:
+            raise ValueError(
+                f"inflight_limit must be >= 1, got {inflight_limit}"
+            )
         self.host = host
         self.port = port
         self.initial_value = initial_value
@@ -140,6 +193,16 @@ class NetObjectServer:
         self.connections_accepted = 0
         self.pushes_sent = 0
         self.invalidations_sent = 0
+        # Exactly-once machinery: the reply cache replays answered
+        # requests; _executing parks a duplicate that races its original
+        # (the duplicate awaits the original's reply future).
+        self.inflight_limit = inflight_limit
+        self.replies = ReplyCache(reply_cache_size)
+        self._executing: Dict[Tuple[int, int], asyncio.Future] = {}
+        self.dedup_replays = 0
+        self.busy_sent = 0
+        self.batch_frames = 0
+        self.batched_writes = 0
         # Frame/byte totals of connections that already closed; live
         # connections are summed at scrape time.
         self._closed_frames = {"sent": 0, "received": 0}
@@ -153,10 +216,16 @@ class NetObjectServer:
             k: str(v) for k, v in (metric_labels or {}).items()
         }
         self._collector = None
+        self.pipeline = None
         if registry is not None:
             from repro.obs.bridge import bind_net_server
+            from repro.obs.instruments import PipelineInstruments
 
             self._collector = bind_net_server(registry, self, **self.metric_labels)
+            self.pipeline = PipelineInstruments(
+                registry, side="server", labels=self.metric_labels
+            )
+            self.pipeline.bind_outstanding(lambda: self._inflight)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -281,11 +350,29 @@ class NetObjectServer:
             })
             if hello.get("subscribe"):
                 self._subscribers[conn] = client_id
-            while True:
-                frame = await conn.recv()
-                if frame is None or frame.get("kind") == BYE:
-                    break
-                await self._dispatch(conn, client_id, frame)
+            tasks: Set[asyncio.Task] = set()
+            try:
+                while True:
+                    frame = await conn.recv()
+                    if frame is None or frame.get("kind") == BYE:
+                        break
+                    if frame.get("kind") == SYNC:
+                        # Serve sync inline: the exchange measures the
+                        # genuine transport; task scheduling would add
+                        # noise to (t2 - t1).
+                        await self._on_sync(conn, frame)
+                        continue
+                    # One task per frame: pipelined requests on a single
+                    # connection overlap; replies carry request ids, so
+                    # their order does not matter.
+                    task = asyncio.ensure_future(
+                        self._dispatch(conn, client_id, frame)
+                    )
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+            finally:
+                if tasks:
+                    await asyncio.gather(*list(tasks), return_exceptions=True)
         except (FrameError, ConnectionError):
             pass  # corrupt or vanished peer: drop the connection
         finally:
@@ -297,47 +384,107 @@ class NetObjectServer:
             self._closed_bytes["received"] += conn.bytes_received
             await conn.close()
 
+    async def _on_sync(
+        self, conn: FrameConnection, frame: Dict[str, Any]
+    ) -> None:
+        # No artificial latency here: the sync exchange measures the
+        # genuine transport, and (t2 - t1) excludes server time anyway.
+        # Never cached/deduped either — a replayed timestamp would
+        # poison the client's NTP estimator.  The request id is echoed
+        # so a pipelined resync() can match the reply.
+        self.requests_by_kind[SYNC] = self.requests_by_kind.get(SYNC, 0) + 1
+        t1 = self.clock()
+        await conn.send({
+            "kind": SYNC_ACK, "req": frame.get("req"),
+            "t0": frame.get("t0"), "t1": t1, "t2": self.clock(),
+        })
+
     async def _dispatch(
         self, conn: FrameConnection, client_id: int, frame: Dict[str, Any]
     ) -> None:
+        kind = str(frame.get("kind"))
+        self.requests_by_kind[kind] = self.requests_by_kind.get(kind, 0) + 1
+        req = frame.get("req")
+        key: Optional[Tuple[int, int]] = None
+        if req is not None and kind in messages.DEDUP_KINDS:
+            key = (client_id, int(req))
+            cached = self.replies.get(key)
+            if cached is not None:
+                # A retransmission of an answered request: replay the
+                # original reply (same alpha), execute nothing.
+                self.dedup_replays += 1
+                await conn.send(cached)
+                return
+            original = self._executing.get(key)
+            if original is not None:
+                # The retransmission raced its original, which is still
+                # executing: wait for that reply and replay it.
+                self.dedup_replays += 1
+                try:
+                    reply = await asyncio.shield(original)
+                except (asyncio.CancelledError, Exception):
+                    return  # original died unexecuted; a later retry re-runs
+                await conn.send(reply)
+                return
+        if self.inflight_limit is not None and self._inflight >= self.inflight_limit:
+            # Shed *unexecuted*: the client backs off and reissues under
+            # the same id, so no exactly-once state is created here.
+            self.busy_sent += 1
+            if self.pipeline is not None:
+                self.pipeline.on_busy()
+            await conn.send({"kind": BUSY, "req": req})
+            return
         self._inflight += 1
         self._idle.clear()
+        if key is not None:
+            self._executing[key] = asyncio.get_running_loop().create_future()
         try:
-            await self._dispatch_inner(conn, client_id, frame)
+            if self.latency:
+                await asyncio.sleep(self.latency)
+            reply, installed = await self._execute(client_id, frame, kind)
+            # Cache before sending: if the ack is lost on a dying
+            # connection, the retransmit (possibly after a reconnect)
+            # must still replay rather than re-execute.
+            if key is not None and reply.get("kind") != ERROR:
+                self.replies.put(key, reply)
+                original = self._executing.pop(key)
+                if not original.done():
+                    original.set_result(reply)
+            await conn.send(reply)
+            for version in installed:
+                if self.recorder is not None:
+                    self.recorder.record_write(
+                        client_id, version.obj, version.value, version.alpha
+                    )
+                await self._propagate(conn, version)
         finally:
+            waiter = self._executing.pop(key, None) if key is not None else None
+            if waiter is not None and not waiter.done():
+                waiter.cancel()
             self._inflight -= 1
             if self._inflight == 0:
                 self._idle.set()
 
-    async def _dispatch_inner(
-        self, conn: FrameConnection, client_id: int, frame: Dict[str, Any]
-    ) -> None:
-        kind = frame.get("kind")
-        self.requests_by_kind[str(kind)] = (
-            self.requests_by_kind.get(str(kind), 0) + 1
-        )
-        if kind == SYNC:
-            # No artificial latency here: the sync exchange measures the
-            # genuine transport, and (t2 - t1) excludes server time anyway.
-            t1 = self.clock()
-            await conn.send({
-                "kind": SYNC_ACK, "t0": frame.get("t0"), "t1": t1, "t2": self.clock(),
-            })
-            return
-        if self.latency:
-            await asyncio.sleep(self.latency)
+    async def _execute(
+        self, client_id: int, frame: Dict[str, Any], kind: str
+    ) -> Tuple[Dict[str, Any], List[PhysicalVersion]]:
+        """Run one request; returns ``(reply, installed versions)``.
+        Side effects happen exactly once — replays never reach here."""
         if kind == messages.FETCH:
-            await self._on_fetch(conn, frame)
-        elif kind == messages.VALIDATE:
-            await self._on_validate(conn, frame)
-        elif kind == messages.WRITE:
-            await self._on_write(conn, client_id, frame)
-        else:
-            await conn.send({
-                "kind": ERROR,
-                "error": f"unknown message kind {kind!r}",
-                "req": frame.get("req"),
-            })
+            return await self._on_fetch(frame), []
+        if kind == messages.VALIDATE:
+            return await self._on_validate(frame), []
+        if kind == messages.WRITE:
+            return await self._on_write(client_id, frame)
+        if kind == messages.WRITE_BATCH:
+            return await self._on_write_batch(client_id, frame)
+        if kind == messages.VALIDATE_BATCH:
+            return await self._on_validate_batch(frame), []
+        return {
+            "kind": ERROR,
+            "error": f"unknown message kind {kind!r}",
+            "req": frame.get("req"),
+        }, []
 
     # -- the lifetime protocol, server side ------------------------------------
 
@@ -363,61 +510,125 @@ class NetObjectServer:
         version.advance_omega(self.clock())
         return version
 
-    async def _on_fetch(self, conn: FrameConnection, frame: Dict[str, Any]) -> None:
+    async def _on_fetch(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         async with self._lock:
             self.requests += 1
             version = self._current(str(frame["obj"])).copy()
-        await conn.send({
+        return {
             "kind": messages.VERSION, "req": frame.get("req"),
             **version_payload(version),
-        })
+        }
 
-    async def _on_validate(self, conn: FrameConnection, frame: Dict[str, Any]) -> None:
-        obj = str(frame["obj"])
+    def _validate_result(self, obj: str, alpha: Any) -> Dict[str, Any]:
+        """One if-modified-since judgement (caller holds the lock)."""
+        version = self._current(obj)
+        if version.alpha == alpha:
+            return {
+                "kind": messages.STILL_VALID, "obj": obj, "omega": version.omega,
+            }
+        return {"kind": messages.VERSION, **version_payload(version.copy())}
+
+    async def _on_validate(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         async with self._lock:
             self.requests += 1
-            version = self._current(obj)
-            if version.alpha == frame.get("alpha"):
-                reply = {
-                    "kind": messages.STILL_VALID, "req": frame.get("req"),
-                    "obj": obj, "omega": version.omega,
-                }
-            else:
-                reply = {
-                    "kind": messages.VERSION, "req": frame.get("req"),
-                    **version_payload(version.copy()),
-                }
-        await conn.send(reply)
+            reply = self._validate_result(str(frame["obj"]), frame.get("alpha"))
+        reply["req"] = frame.get("req")
+        return reply
+
+    def _install(
+        self, obj: str, value: Any, client_id: int
+    ) -> PhysicalVersion:
+        """Stamp and install one write (caller holds the lock; the WAL
+        append is the caller's, so batches can amortize it)."""
+        install_time = self.clock()
+        version = PhysicalVersion(obj, value, install_time, install_time, client_id)
+        current = self.store.get(obj)
+        if current is None or install_time > current.alpha:
+            self.store[obj] = version.copy()
+            self.context = max(self.context, install_time)
+            self.recovered_old.discard(obj)  # overwritten, not stale
+        return version
 
     async def _on_write(
-        self, conn: FrameConnection, client_id: int, frame: Dict[str, Any]
-    ) -> None:
+        self, client_id: int, frame: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], List[PhysicalVersion]]:
         obj = str(frame["obj"])
         value = frame["value"]
         async with self._lock:
             self.requests += 1
-            install_time = self.clock()
-            version = PhysicalVersion(obj, value, install_time, install_time, client_id)
-            current = self.store.get(obj)
-            if current is None or install_time > current.alpha:
-                self.store[obj] = version.copy()
-                self.context = max(self.context, install_time)
-                self.recovered_old.discard(obj)  # overwritten, not stale
-                if self.durable is not None:
-                    # Log before the ack leaves this block: an
-                    # acknowledged write is always in the WAL, which is
-                    # what makes the recovery replay complete.
-                    self.durable.log_write(version)
-                    self.durable.maybe_snapshot(
-                        self.store, self.context, install_time
-                    )
-        await conn.send({
+            version = self._install(obj, value, client_id)
+            if self.durable is not None:
+                # Log before the ack leaves this block: an acknowledged
+                # write is always in the WAL, which is what makes the
+                # recovery replay complete.
+                self.durable.log_write(version)
+                self.durable.maybe_snapshot(
+                    self.store, self.context, version.alpha
+                )
+        reply = {
             "kind": messages.WRITE_ACK, "req": frame.get("req"),
-            "obj": obj, "alpha": install_time,
-        })
-        if self.recorder is not None:
-            self.recorder.record_write(client_id, obj, value, install_time)
-        await self._propagate(conn, version)
+            "obj": obj, "alpha": version.alpha,
+        }
+        return reply, [version]
+
+    async def _on_write_batch(
+        self, client_id: int, frame: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], List[PhysicalVersion]]:
+        """Install a batch of writes under one lock acquisition and one
+        WAL append (one fsync under ``fsync=always``); per-item acks in
+        item order.  Each item still gets its own strictly-later install
+        time from the monotone clock — batching amortizes cost, it does
+        not merge effective times."""
+        writes = frame.get("writes")
+        if not isinstance(writes, list) or not writes:
+            return {
+                "kind": ERROR, "req": frame.get("req"),
+                "error": "write-batch needs a non-empty 'writes' list",
+            }, []
+        self.batch_frames += 1
+        self.batched_writes += len(writes)
+        if self.pipeline is not None:
+            self.pipeline.on_batch(len(writes))
+        installed: List[PhysicalVersion] = []
+        async with self._lock:
+            self.requests += len(writes)
+            for item in writes:
+                installed.append(
+                    self._install(str(item["obj"]), item["value"], client_id)
+                )
+            if self.durable is not None:
+                self.durable.log_writes(installed)
+                self.durable.maybe_snapshot(
+                    self.store, self.context, installed[-1].alpha
+                )
+        reply = {
+            "kind": messages.WRITE_BATCH_ACK, "req": frame.get("req"),
+            "acks": [{"obj": v.obj, "alpha": v.alpha} for v in installed],
+        }
+        return reply, installed
+
+    async def _on_validate_batch(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Judge a batch of validations under one lock acquisition; a
+        null ``alpha`` always ships the full version (bulk refresh)."""
+        items = frame.get("items")
+        if not isinstance(items, list) or not items:
+            return {
+                "kind": ERROR, "req": frame.get("req"),
+                "error": "validate-batch needs a non-empty 'items' list",
+            }
+        self.batch_frames += 1
+        if self.pipeline is not None:
+            self.pipeline.on_batch(len(items))
+        async with self._lock:
+            self.requests += len(items)
+            results = [
+                self._validate_result(str(item["obj"]), item.get("alpha"))
+                for item in items
+            ]
+        return {
+            "kind": messages.VALIDATE_BATCH_ACK, "req": frame.get("req"),
+            "results": results,
+        }
 
     async def _propagate(
         self, writer_conn: FrameConnection, version: PhysicalVersion

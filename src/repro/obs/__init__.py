@@ -30,6 +30,7 @@ from repro.obs.instruments import (
     EventTrace,
     OnTimeRatio,
     OnTimeVerdict,
+    PipelineInstruments,
     StoreInstruments,
     TimedInstruments,
     VisibilityLag,
@@ -61,6 +62,7 @@ __all__ = [
     "MetricsServer",
     "OnTimeRatio",
     "OnTimeVerdict",
+    "PipelineInstruments",
     "Registry",
     "StoreInstruments",
     "TimedInstruments",

@@ -143,6 +143,9 @@ def bind_router_stats(
                    "Reads served by a device outside the replica set "
                    "(routing bug guard; must stay 0)",
                    [(base, stats.off_ring_reads)]),
+            family("repro_ring_anti_entropy_errors_total", "counter",
+                   "Anti-entropy loop deaths from non-cancellation errors",
+                   [(base, stats.anti_entropy_errors)]),
         ]
 
     return registry.register_collector(collector)
@@ -241,6 +244,20 @@ def bind_net_server(
             family("repro_net_inflight_requests", "gauge",
                    "Requests currently being served",
                    [(base, server._inflight)]),
+            family("repro_net_dedup_replays_total", "counter",
+                   "Retransmitted requests answered from the reply cache "
+                   "(executed exactly once)",
+                   [(base, server.dedup_replays)]),
+            family("repro_net_busy_sent_total", "counter",
+                   "Requests shed unexecuted with a busy frame "
+                   "(inflight_limit backpressure)",
+                   [(base, server.busy_sent)]),
+            family("repro_net_reply_cache_entries", "gauge",
+                   "Replies retained for exactly-once replay",
+                   [(base, len(server.replies))]),
+            family("repro_net_batched_writes_total", "counter",
+                   "Writes installed via write-batch frames",
+                   [(base, server.batched_writes)]),
             family("repro_net_objects", "gauge",
                    "Objects materialized in the server store",
                    [(base, len(server.store))]),

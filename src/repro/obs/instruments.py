@@ -458,6 +458,10 @@ class StoreInstruments:
         self.wal_records.inc()
         self.wal_bytes.inc(nbytes)
 
+    def on_append_many(self, count: int, nbytes: int) -> None:
+        self.wal_records.inc(count)
+        self.wal_bytes.inc(nbytes)
+
     def on_snapshot(self) -> None:
         self.snapshots.inc()
 
@@ -474,6 +478,76 @@ class StoreInstruments:
 
     def bind_snapshot_age(self, fn) -> None:
         self._snapshot_age.set_function(fn)
+
+
+class PipelineInstruments:
+    """Request-pipeline metrics for the exactly-once TCP layer.
+
+    One instance per endpoint, labeled by ``side`` (``client`` or
+    ``server``) plus optional ``site``/``device`` discriminators — the
+    label *names* are fixed so routers, standalone clients, and servers
+    can all share one registry (a family's label names must agree).
+
+    * ``repro_net_batch_size`` — operations coalesced per batch frame
+      (:meth:`on_batch`);
+    * ``repro_net_busy_events_total`` — ``busy`` backpressure frames
+      (sent, on the server side; honored, on the client side);
+    * ``repro_net_outstanding_requests`` — pipelined requests in flight,
+      pulled at scrape time (:meth:`bind_outstanding`);
+    * ``repro_net_batch_queue_depth`` — writes waiting in the client's
+      coalescing queue, pulled at scrape time (:meth:`bind_queue_depth`).
+    """
+
+    LABEL_NAMES = ("side", "site", "device")
+
+    def __init__(
+        self,
+        registry: Registry,
+        side: str = "client",
+        labels: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.registry = registry
+        # Keep only the fixed label names (extra deployment labels like
+        # ``role``/``stack`` are dropped): the family's label *names*
+        # must agree across every client, server, and router sharing
+        # the registry.
+        given = {k: str(v) for k, v in (labels or {}).items()}
+        label = {name: given.get(name, "") for name in self.LABEL_NAMES}
+        label["side"] = str(side)
+        self.batch_size = registry.histogram(
+            "repro_net_batch_size",
+            "Operations coalesced into one batch frame",
+            labels=self.LABEL_NAMES,
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+        ).labels(**label)
+        self.busy_events = registry.counter(
+            "repro_net_busy_events_total",
+            "Busy backpressure frames (server side: sent; client side: "
+            "honored with backoff and an identical-id reissue)",
+            labels=self.LABEL_NAMES,
+        ).labels(**label)
+        self._outstanding = registry.gauge(
+            "repro_net_outstanding_requests",
+            "Pipelined requests issued and not yet answered",
+            labels=self.LABEL_NAMES,
+        ).labels(**label)
+        self._queue_depth = registry.gauge(
+            "repro_net_batch_queue_depth",
+            "Writes waiting in the client's batch-coalescing queue",
+            labels=self.LABEL_NAMES,
+        ).labels(**label)
+
+    def on_batch(self, size: int) -> None:
+        self.batch_size.observe(size)
+
+    def on_busy(self) -> None:
+        self.busy_events.inc()
+
+    def bind_outstanding(self, fn) -> None:
+        self._outstanding.set_function(fn)
+
+    def bind_queue_depth(self, fn) -> None:
+        self._queue_depth.set_function(fn)
 
 
 class TimedInstruments:

@@ -24,6 +24,16 @@ WRITE_ACK = "write-ack"
 PUSH = "push"
 #: Server -> client: invalidation of an object (invalidation policy).
 INVALIDATE = "invalidate"
+#: Client -> server: several writes in one frame (``writes: [{obj, value}]``).
+WRITE_BATCH = "write-batch"
+#: Server -> client: per-item acks for a WRITE_BATCH (``acks: [{obj, alpha}]``).
+WRITE_BATCH_ACK = "write-batch-ack"
+#: Client -> server: several validations in one frame
+#: (``items: [{obj, alpha}]``; a null ``alpha`` asks for the full version).
+VALIDATE_BATCH = "validate-batch"
+#: Server -> client: per-item results for a VALIDATE_BATCH (``results``:
+#: a list of STILL_VALID / VERSION payloads, in item order).
+VALIDATE_BATCH_ACK = "validate-batch-ack"
 
 #: Cost (in size units) of shipping a full object version.
 OBJECT_SIZE = 20
@@ -32,6 +42,12 @@ CONTROL_SIZE = 1
 
 #: Message kinds that carry a full object copy.
 BULK_KINDS = frozenset({VERSION, PUSH, WRITE})
+
+#: Request kinds a server must answer exactly once: a retransmission of
+#: one of these replays the cached reply instead of re-executing (the
+#: reply cache in :mod:`repro.net.server`).  ``sync`` is deliberately
+#: absent — a clock-sync exchange is time-sensitive and must re-execute.
+DEDUP_KINDS = frozenset({FETCH, VALIDATE, WRITE, WRITE_BATCH, VALIDATE_BATCH})
 
 
 def size_of(kind: str) -> int:

@@ -19,6 +19,13 @@ stores of the tests, the simulator, and the TCP stack's per-device
     async def write(device_id, obj, value) -> float   # install time
     async def read(device_id, obj) -> value
 
+A transport may additionally accept ``write(..., dedup=<token>)``: the
+engine then tags every fan-out copy (and its anti-entropy re-pushes)
+with one token per logical write, so a dedup-aware transport can retry
+idempotently — the TCP transport maps the token to a pinned request id
+and the server's reply cache replays a lost ack instead of
+re-installing.  Plain 3-argument transports keep working unchanged.
+
 Transport failures must surface as exceptions (``ConnectionError``,
 :class:`repro.net.client.NetError`, ...); any exception from a replica
 write queues a repair, any exception from a read triggers fallback to
@@ -28,9 +35,11 @@ the next replica.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import math
+import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
 
 from repro.ring.ring import Ring
 
@@ -67,6 +76,10 @@ class WriteOutcome:
     acked: Dict[int, float]  #: device id -> that device's install time
     failed: Tuple[int, ...]  #: devices whose copy failed and was queued
     quorum: int
+    #: The device that actually served as primary for this write.  The
+    #: caller must rebase ``alpha`` with *this* device's clock offset —
+    #: re-asking the ring after the fact races a concurrent ``swap_ring``.
+    primary: int = -1
 
     @property
     def quorum_met(self) -> bool:
@@ -85,7 +98,13 @@ class ReadOutcome:
 
 @dataclass
 class RepairTask:
-    """A replica copy that must be re-pushed before ``deadline``."""
+    """A replica copy that must be re-pushed before ``deadline``.
+
+    ``dedup`` carries the originating write's dedup token: a re-push is
+    a *retry* of the original fan-out copy, so a dedup-aware transport
+    reuses the same request id and a copy whose ack was merely lost is
+    replayed (original ``alpha``) instead of installed twice.
+    """
 
     device: int
     obj: str
@@ -93,6 +112,7 @@ class RepairTask:
     created: float
     deadline: float
     attempts: int = 0
+    dedup: Optional[str] = None
 
 
 class ReplicatedPlacement:
@@ -133,11 +153,35 @@ class ReplicatedPlacement:
         self.stats = PlacementStats()
         self.repairs: List[RepairTask] = []
         self._stragglers: List[asyncio.Task] = []
+        self._write_seq = 0
+        self._dedup_aware: Optional[bool] = None
 
     def _now(self) -> float:
         if self._clock is not None:
             return self._clock()
-        return asyncio.get_event_loop().time()
+        try:
+            return asyncio.get_running_loop().time()
+        except RuntimeError:
+            return time.monotonic()
+
+    def _transport_write(
+        self, dev: int, obj: str, value: Any, dedup: Optional[str]
+    ) -> Awaitable[float]:
+        """Write through the transport, passing the dedup token when the
+        transport understands it (duck-typed: plain 3-argument
+        transports keep working, just without idempotent retries)."""
+        if self._dedup_aware is None:
+            try:
+                params = inspect.signature(self.transport.write).parameters
+                self._dedup_aware = "dedup" in params or any(
+                    p.kind is inspect.Parameter.VAR_KEYWORD
+                    for p in params.values()
+                )
+            except (TypeError, ValueError):
+                self._dedup_aware = False
+        if self._dedup_aware and dedup is not None:
+            return self.transport.write(dev, obj, value, dedup=dedup)
+        return self.transport.write(dev, obj, value)
 
     def quorum_for(self, n_replicas: int) -> int:
         if self.write_quorum is None:
@@ -153,8 +197,16 @@ class ReplicatedPlacement:
         primary = devices[0]
         quorum = self.quorum_for(len(devices))
         started = self._now()
+        # One token per logical write: every fan-out copy (and any
+        # later anti-entropy re-push of it) retries under the same
+        # per-device request id, so a lost ack replays instead of
+        # installing a second version.
+        self._write_seq += 1
+        token = f"{obj}#{self._write_seq}"
         tasks = {
-            asyncio.ensure_future(self.transport.write(dev, obj, value)): dev
+            asyncio.ensure_future(
+                self._transport_write(dev, obj, value, token)
+            ): dev
             for dev in devices
         }
         acked: Dict[int, float] = {}
@@ -173,13 +225,13 @@ class ReplicatedPlacement:
                         self.stats.replica_acks += 1
                 else:
                     failed.append(dev)
-                    self._queue_repair(dev, obj, value, started)
+                    self._queue_repair(dev, obj, value, started, token)
         # Stragglers past the quorum run on; their outcome is recorded
         # (late ack) or repaired (late failure) when they resolve.
         for task in pending:
             dev = tasks[task]
             task.add_done_callback(
-                self._straggler_done(dev, primary, obj, value, started)
+                self._straggler_done(dev, primary, obj, value, started, token)
             )
             self._stragglers.append(task)
         if primary not in acked:
@@ -192,10 +244,12 @@ class ReplicatedPlacement:
         return WriteOutcome(
             obj=obj, value=value, alpha=acked[primary],
             acked=acked, failed=tuple(failed), quorum=quorum,
+            primary=primary,
         )
 
     def _straggler_done(
-        self, dev: int, primary: int, obj: str, value: Any, started: float
+        self, dev: int, primary: int, obj: str, value: Any, started: float,
+        token: Optional[str] = None,
     ) -> Callable[[asyncio.Task], None]:
         def _on_done(task: asyncio.Task) -> None:
             if task in self._stragglers:
@@ -206,22 +260,29 @@ class ReplicatedPlacement:
                 if dev != primary:
                     self.stats.replica_acks += 1
             else:
-                self._queue_repair(dev, obj, value, started)
+                self._queue_repair(dev, obj, value, started, token)
 
         return _on_done
 
-    def _queue_repair(self, dev: int, obj: str, value: Any, started: float) -> None:
+    def _queue_repair(
+        self, dev: int, obj: str, value: Any, started: float,
+        token: Optional[str] = None,
+    ) -> None:
         deadline = started + self.delta if not math.isinf(self.delta) else math.inf
         # One outstanding repair per (device, object): a newer value
-        # supersedes the queued one.
+        # supersedes the queued one (and carries the newer write's
+        # dedup token — the superseded copy must not be replayed).
         for task in self.repairs:
             if task.device == dev and task.obj == obj:
                 task.value = value
                 task.created = started
                 task.deadline = deadline
                 task.attempts = 0
+                task.dedup = token
                 return
-        self.repairs.append(RepairTask(dev, obj, value, started, deadline))
+        self.repairs.append(
+            RepairTask(dev, obj, value, started, deadline, dedup=token)
+        )
         self.stats.repairs_queued += 1
 
     # -- reads ----------------------------------------------------------------
@@ -252,22 +313,38 @@ class ReplicatedPlacement:
         return list(self.repairs)
 
     async def repair_once(self) -> int:
-        """One anti-entropy round: re-push every queued copy; returns how
-        many repairs completed.  A repair finishing after its deadline is
-        counted in ``stats.repairs_late`` — the delta bound was missed
-        (fault injection can force this; healthy runs keep it at 0)."""
-        completed = 0
-        for task in list(self.repairs):
+        """One anti-entropy round: re-push every queued copy
+        *concurrently* (one slow replica must not delay the others past
+        their delta deadlines); returns how many repairs completed.  A
+        repair finishing after its deadline is counted in
+        ``stats.repairs_late`` — the delta bound was missed (fault
+        injection can force this; healthy runs keep it at 0).  Re-pushes
+        reuse the originating write's dedup token, so retrying a copy
+        whose ack was lost replays the original install."""
+        round_tasks = [
+            (task, asyncio.ensure_future(
+                self._transport_write(task.device, task.obj, task.value, task.dedup)
+            ))
+            for task in list(self.repairs)
+        ]
+        for task, _ in round_tasks:
             task.attempts += 1
-            try:
-                await self.transport.write(task.device, task.obj, task.value)
-            except asyncio.CancelledError:
-                raise
-            except Exception:
-                if task.attempts >= self.max_repair_attempts:
+        results = await asyncio.gather(
+            *(fut for _, fut in round_tasks), return_exceptions=True
+        )
+        completed = 0
+        for (task, _), result in zip(round_tasks, results):
+            if isinstance(result, asyncio.CancelledError):
+                raise result
+            if isinstance(result, BaseException):
+                if (
+                    task.attempts >= self.max_repair_attempts
+                    and task in self.repairs
+                ):
                     self.repairs.remove(task)  # give up; surfaced in stats
                 continue
-            self.repairs.remove(task)
+            if task in self.repairs:  # not superseded mid-round
+                self.repairs.remove(task)
             self.stats.repairs_done += 1
             if self._now() > task.deadline:
                 self.stats.repairs_late += 1
@@ -306,21 +383,38 @@ class MemoryTransport:
         self.write_delay: Dict[int, float] = {}
         self._clock = clock
         self.write_log: List[Tuple[int, str, Any]] = []
+        self._dedup_done: Dict[Tuple[int, str], float] = {}
 
     def _now(self) -> float:
         if self._clock is not None:
             return self._clock()
-        return asyncio.get_event_loop().time()
+        try:
+            return asyncio.get_running_loop().time()
+        except RuntimeError:
+            return time.monotonic()
 
-    async def write(self, device_id: int, obj: str, value: Any) -> float:
+    async def write(
+        self, device_id: int, obj: str, value: Any,
+        dedup: Optional[str] = None,
+    ) -> float:
         delay = self.write_delay.get(device_id, 0.0)
         if delay:
             await asyncio.sleep(delay)
         if device_id in self.down:
             raise ConnectionError(f"device {device_id} is down")
+        # Exactly-once by token: a retried copy replays its original
+        # install time instead of re-installing (the in-memory analogue
+        # of the TCP server's reply cache).
+        if dedup is not None:
+            key = (device_id, dedup)
+            done = self._dedup_done.get(key)
+            if done is not None:
+                return done
         alpha = self._now()
         self.stores[device_id][obj] = (value, alpha)
         self.write_log.append((device_id, obj, value))
+        if dedup is not None:
+            self._dedup_done[(device_id, dedup)] = alpha
         return alpha
 
     async def read(self, device_id: int, obj: str) -> Any:

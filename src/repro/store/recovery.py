@@ -57,7 +57,7 @@ import os
 import signal
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Sequence, Set
 
 from repro.core.history import History
 from repro.core.io import atomic_write_json
@@ -367,6 +367,34 @@ class DurableStore:
             self.crash_after_appends -= 1
             if self.crash_after_appends <= 0:
                 self.wal.flush(sync=True)  # the append must hit the disk
+                os.kill(os.getpid(), signal.SIGKILL)
+
+    def log_writes(self, versions: Sequence[PhysicalVersion]) -> None:
+        """Append a batch of installed writes with a single flush/fsync;
+        call *before* acknowledging any of them.  The batch write path
+        (``write-batch`` frames) amortizes the fsync across the batch
+        while keeping the log-before-ack invariant per item."""
+        if self.wal is None:
+            raise RuntimeError("store is not open; call open() first")
+        if not versions:
+            return
+        nbytes = self.wal.append_many([
+            {
+                "k": REC_WRITE,
+                "t": version.alpha,
+                "obj": version.obj,
+                "value": version.value,
+                "writer": version.writer,
+            }
+            for version in versions
+        ])
+        self._appends_since_snapshot += len(versions)
+        if self.instruments is not None:
+            self.instruments.on_append_many(len(versions), nbytes)
+        if self.crash_after_appends is not None:
+            self.crash_after_appends -= len(versions)
+            if self.crash_after_appends <= 0:
+                self.wal.flush(sync=True)  # the appends must hit the disk
                 os.kill(os.getpid(), signal.SIGKILL)
 
     def flush(self) -> None:

@@ -10,7 +10,9 @@ import pytest
 from repro.net.ring_demo import ring_cluster, run_ring_soak
 from repro.net.ring_router import RingRouter
 from repro.net.server import NetObjectServer
-from repro.ring import uniform_ring
+from repro.protocol import messages
+from repro.ring import RingBuilder, uniform_ring
+from tests.test_net_pipeline import DropFirst
 
 pytestmark = pytest.mark.net
 
@@ -149,3 +151,129 @@ class TestRingSoakCoroutine:
     def test_ring_cluster_rejects_impossible_replication(self):
         with pytest.raises(ValueError, match="exceeds"):
             asyncio.run(ring_cluster(n_servers=2, replicas=3, rounds=1))
+
+
+class TestRouterRegressions:
+    def test_write_rebases_with_the_primary_that_served_it(self):
+        """A concurrent ``swap_ring`` must not change which device's
+        clock offset rebases a completed write: the offset belongs to
+        the device that actually installed it, not to whatever the new
+        ring would name as primary."""
+        ring_a = uniform_ring(2, part_power=4)
+        builder = RingBuilder(4, 1)
+        builder.add_device(0, weight=1.0)
+        builder.add_device(1, weight=8.0)
+        ring_b, _ = builder.rebalance()
+        obj = next(
+            f"swap{i}" for i in range(200)
+            if ring_a.primary_for(f"swap{i}") == 0
+            and ring_b.primary_for(f"swap{i}") == 1
+        )
+
+        async def scenario():
+            servers = [
+                await NetObjectServer("127.0.0.1", 0, propagation="none").start()
+                for _ in range(2)
+            ]
+            endpoints = {i: ("127.0.0.1", servers[i].port) for i in range(2)}
+            try:
+                async with RingRouter(0, ring_a, endpoints, delta=1.0) as router:
+                    placement_write = router.placement.write
+
+                    async def write_then_swap(obj, value):
+                        outcome = await placement_write(obj, value)
+                        router.swap_ring(ring_b)  # rebalance racing the write
+                        return outcome
+
+                    router.placement.write = write_then_swap
+                    rebased_with = []
+                    offset_to_reference = router.offset_to_reference
+
+                    def spying_offset(dev_id):
+                        rebased_with.append(dev_id)
+                        return offset_to_reference(dev_id)
+
+                    router.offset_to_reference = spying_offset
+                    await router.write(obj, "v1")
+                    return rebased_with
+
+            finally:
+                for server in servers:
+                    await server.close()
+
+        assert asyncio.run(scenario()) == [0]
+
+    def test_anti_entropy_loop_death_is_surfaced(self):
+        ring = uniform_ring(1, part_power=4)
+
+        async def scenario():
+            server = await NetObjectServer(
+                "127.0.0.1", 0, propagation="none"
+            ).start()
+            try:
+                endpoints = {0: ("127.0.0.1", server.port)}
+                async with RingRouter(0, ring, endpoints, delta=1.0) as router:
+
+                    async def broken_repair():
+                        raise RuntimeError("repair exploded")
+
+                    router.placement.repair_once = broken_repair
+                    router.start_anti_entropy(period=0.01)
+                    await asyncio.sleep(0.1)
+                    errors = router.stats.anti_entropy_errors
+                    # stop_anti_entropy after the death must not raise.
+                    await router.stop_anti_entropy()
+                    return errors, router.stats.anti_entropy_errors
+            finally:
+                await server.close()
+
+        errors_live, errors_final = asyncio.run(scenario())
+        assert errors_live == 1, "the loop death must be counted, not eaten"
+        assert errors_final == 1  # stop() does not double-count
+
+    def test_repair_replays_instead_of_reinstalling(self):
+        """Anti-entropy re-pushes reuse the originating write's request
+        id, so a replica whose ack was merely lost ends up with exactly
+        one install (the server replays the original alpha)."""
+        ring = uniform_ring(2, part_power=4, replicas=2)
+        obj = next(
+            f"rep{i}" for i in range(100)
+            if ring.replicas_for(f"rep{i}")[0] == 0
+        )
+
+        async def scenario():
+            healthy = await NetObjectServer(
+                "127.0.0.1", 0, propagation="none"
+            ).start()
+            lossy = await NetObjectServer(
+                "127.0.0.1", 0, propagation="none",
+                fault_factory=lambda: DropFirst({messages.WRITE_ACK}),
+            ).start()
+            endpoints = {0: ("127.0.0.1", healthy.port),
+                         1: ("127.0.0.1", lossy.port)}
+            try:
+                async with RingRouter(
+                    0, ring, endpoints, delta=5.0,
+                    request_timeout=0.15, max_retries=0,
+                ) as router:
+                    await router.write(obj, "v1")
+                    queued = len(router.placement.pending_repairs())
+                    completed = await router.placement.repair_once()
+                    return (
+                        queued, completed, router.placement.stats,
+                        lossy.requests, lossy.dedup_replays,
+                        lossy.store[obj].value,
+                    )
+            finally:
+                await healthy.close()
+                await lossy.close()
+
+        (queued, completed, stats, requests, replays, value) = (
+            asyncio.run(scenario())
+        )
+        assert queued == 1  # the replica copy's lost ack queued a repair
+        assert completed == 1 and stats.repairs_done == 1
+        assert requests == 1, "the re-push must replay, not re-execute"
+        assert replays == 1
+        assert value == "v1"
+        assert stats.repairs_late == 0
