@@ -337,6 +337,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
                   f"{', clean' if r.clean_start else ''}), "
                   f"context={r.context:.3f}, resume t={r.resume_time:.3f}, "
                   f"{len(r.old_objects)} versions marked old")
+        agent = None
+        if args.cluster:
+            from repro.cluster import ClusterConfig, ClusterView, SwimAgent
+
+            members = {}
+            for part in args.cluster.split(","):
+                member_id, _, address = part.strip().partition("=")
+                members[int(member_id)] = address
+            members[args.member_id] = server.address
+            instruments = None
+            if registry is not None:
+                from repro.obs.instruments import ClusterInstruments
+
+                instruments = ClusterInstruments(
+                    registry, member=args.member_id
+                )
+            agent = SwimAgent(
+                args.member_id, server,
+                ClusterView.seed(members),
+                ClusterConfig(
+                    probe_period=args.probe_period,
+                    suspect_timeout=args.suspect_timeout,
+                ),
+                instruments=instruments,
+            )
+            await agent.start()
+            print(f"cluster member {args.member_id} of "
+                  f"{sorted(members)} (probe {args.probe_period:g}s, "
+                  f"suspect timeout {args.suspect_timeout:g}s)")
         metrics = None
         if registry is not None:
             from repro.obs.expo import MetricsServer
@@ -353,6 +382,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         finally:
             # Graceful drain: finish in-flight replies, say bye, close;
             # /healthz flips to 503 the moment the drain starts.
+            if agent is not None:
+                await agent.stop()
             await server.shutdown(grace=args.grace)
             if metrics is not None:
                 await metrics.close()
@@ -642,6 +673,36 @@ def cmd_ring_serve_set(args: argparse.Namespace) -> int:
                              f"objects, {len(server.recovered.old_objects)} "
                              f"old)")
             print(f"device {dev_id}: serving on {server.address}{recovered}")
+        agents = []
+        if args.cluster:
+            from repro.cluster import ClusterConfig, ClusterView, SwimAgent
+
+            device_ids = list(ring.device_ids())
+            addresses = {
+                dev_id: server.address
+                for dev_id, server in zip(device_ids, servers)
+            }
+            config = ClusterConfig(
+                probe_period=args.probe_period,
+                suspect_timeout=args.suspect_timeout,
+            )
+            for dev_id, server in zip(device_ids, servers):
+                instruments = None
+                if registry is not None:
+                    from repro.obs.instruments import ClusterInstruments
+
+                    instruments = ClusterInstruments(registry, member=dev_id)
+                agent = SwimAgent(
+                    dev_id, server,
+                    ClusterView.seed(addresses, ring=ring.as_dict()),
+                    config, instruments=instruments,
+                )
+                await agent.start()
+                agents.append(agent)
+            print(f"cluster: {len(agents)} members probing every "
+                  f"{args.probe_period:g}s (suspect timeout "
+                  f"{args.suspect_timeout:g}s, detection bound "
+                  f"{config.detection_bound:g}s)")
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
@@ -662,6 +723,8 @@ def cmd_ring_serve_set(args: argparse.Namespace) -> int:
         try:
             await stop.wait()
         finally:
+            for agent in agents:
+                await agent.stop()
             await asyncio.gather(*(s.shutdown(grace=args.grace)
                                    for s in servers))
             if metrics is not None:
@@ -694,6 +757,10 @@ def cmd_ring_soak(args: argparse.Namespace) -> int:
         server_skew=args.server_skew, seed=args.seed,
         write_quorum=args.quorum, read_policy=args.read_policy,
         add_device_midway=args.grow,
+        cluster=args.cluster or args.kill_primary,
+        probe_period=args.probe_period,
+        suspect_timeout=args.suspect_timeout,
+        kill_primary_midway=args.kill_primary,
         registry=registry, metrics_port=args.metrics_port,
         store_root=args.store_dir, fsync=args.fsync,
         pipeline_depth=args.pipeline_depth, batch=args.batch,
@@ -719,6 +786,16 @@ def cmd_ring_soak(args: argparse.Namespace) -> int:
         print(f"\nmid-run growth: {len(report.moves)} slots moved, "
               f"handoff copied {report.handoff.objects_copied} objects "
               f"across {report.handoff.partitions_touched} partitions")
+    if args.kill_primary:
+        ttd = (f"{report.time_to_detect:.3f}s"
+               if report.time_to_detect is not None else "never")
+        ttr = (f"{report.time_to_recover:.3f}s"
+               if report.time_to_recover is not None else "never")
+        print(f"\nkilled device {report.killed_device} mid-run: "
+              f"detected in {ttd}, first write re-acked in {ttr} "
+              f"(bound {report.detection_bound:.3f}s); "
+              f"{report.promotions} promotions, failed over to ring "
+              f"epoch {report.failover_epoch}")
     print(f"\nclock-sync epsilon (composed across servers): "
           f"{report.epsilon:.6f}s")
     print(f"off-ring reads: {report.off_ring_reads}; "
@@ -734,6 +811,8 @@ def cmd_ring_soak(args: argparse.Namespace) -> int:
     if checked.violation:
         print(f"  {checked.violation}")
     ok = checked.satisfied and report.off_ring_reads == 0
+    if args.kill_primary:
+        ok = ok and report.time_to_recover is not None
     if report.ontime is not None:
         o = report.ontime
         judged = o["reads_on_time"] + o["reads_late"]
@@ -756,6 +835,91 @@ def cmd_ring_soak(args: argparse.Namespace) -> int:
         registry.save(args.metrics_snapshot)
         print(f"wrote registry snapshot to {args.metrics_snapshot}")
     return 0 if ok else 1
+
+
+def _cluster_fetch(host: str, port: int, timeout: float = 2.0):
+    """One status round trip over a bare agent link (no clock sync):
+    the member's cluster view plus the ring it currently serves."""
+    import asyncio
+
+    from repro.cluster.swim import AgentLink
+    from repro.net.framing import CLUSTER_STATE, RING_FETCH
+
+    async def _fetch():
+        link = AgentLink(999_999, -1, host, port, connect_timeout=timeout)
+        await link.connect()
+        try:
+            view = await link.request({"kind": CLUSTER_STATE}, timeout)
+            ring = await link.request({"kind": RING_FETCH}, timeout)
+        finally:
+            await link.close()
+        return view, ring
+
+    return asyncio.run(_fetch())
+
+
+def _print_cluster_status(target: str, view_frame, ring_frame) -> None:
+    from repro.cluster import ClusterView
+
+    epoch = view_frame.get("epoch", 0)
+    view = view_frame.get("view")
+    if view is None:
+        print(f"{target}: serving at ring epoch {epoch}, "
+              "no cluster agent attached")
+        return
+    cv = ClusterView.from_dict(view)
+    coordinator = cv.coordinator()
+    rows = []
+    for info in sorted(cv.members.values(), key=lambda m: m.id):
+        rows.append({
+            "member": f"{info.id}{' *' if info.id == coordinator else ''}",
+            "state": info.state,
+            "incarnation": info.incarnation,
+            "address": info.address,
+        })
+    print_table(rows, title=f"cluster at {target}: ring epoch {epoch}, "
+                f"view epoch {cv.ring_epoch} (* = coordinator)")
+    ring = ring_frame.get("ring")
+    if ring:
+        print(f"ring: {len(ring.get('devices', {}))} devices x "
+              f"{ring.get('replicas')} replicas, epoch {ring.get('epoch')}")
+
+
+def _parse_target(target: str):
+    host, _, port = target.rpartition(":")
+    return host or "127.0.0.1", int(port)
+
+
+def cmd_cluster_status(args: argparse.Namespace) -> int:
+    host, port = _parse_target(args.target)
+    try:
+        view_frame, ring_frame = _cluster_fetch(host, port, args.timeout)
+    except (ConnectionError, OSError, TimeoutError) as exc:
+        print(f"{args.target}: unreachable ({exc})")
+        return 1
+    _print_cluster_status(args.target, view_frame, ring_frame)
+    return 0
+
+
+def cmd_cluster_watch(args: argparse.Namespace) -> int:
+    import time as _time
+
+    host, port = _parse_target(args.target)
+    try:
+        while True:
+            stamp = _time.strftime("%H:%M:%S")
+            try:
+                view_frame, ring_frame = _cluster_fetch(
+                    host, port, args.timeout
+                )
+            except (ConnectionError, OSError, TimeoutError) as exc:
+                print(f"[{stamp}] {args.target}: unreachable ({exc})")
+            else:
+                print(f"[{stamp}]")
+                _print_cluster_status(args.target, view_frame, ring_frame)
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _store_summary(state) -> dict:
@@ -1080,6 +1244,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="freshness bound used by recovery: versions "
                          "unvalidated for longer are marked old "
                          "(default: infinity — restore only)")
+    p_serve.add_argument("--cluster", default=None, metavar="MEMBERS",
+                         help="join a cluster: comma-separated id=host:port "
+                         "peers (this member's own entry may be omitted; "
+                         "see docs/CLUSTER.md)")
+    p_serve.add_argument("--member-id", type=int, default=0,
+                         help="this server's member/device id in the cluster")
+    p_serve.add_argument("--probe-period", type=float, default=0.2,
+                         help="SWIM probe period (s)")
+    p_serve.add_argument("--suspect-timeout", type=float, default=0.6,
+                         help="suspicion age before a member is declared "
+                         "dead (s)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_client = sub.add_parser("client", help="run a workload against a server")
@@ -1191,6 +1366,14 @@ def build_parser() -> argparse.ArgumentParser:
                          default=float("inf"),
                          help="freshness bound used by recovery "
                          "(default: infinity — restore only)")
+    r_serve.add_argument("--cluster", action="store_true",
+                         help="attach a SWIM agent to every device: gossip "
+                         "membership, failure detection, automatic failover")
+    r_serve.add_argument("--probe-period", type=float, default=0.2,
+                         help="SWIM probe period (s)")
+    r_serve.add_argument("--suspect-timeout", type=float, default=0.6,
+                         help="suspicion age before a member is declared "
+                         "dead (s)")
     r_serve.set_defaults(func=cmd_ring_serve_set)
 
     r_soak = ring_sub.add_parser(
@@ -1239,6 +1422,18 @@ def build_parser() -> argparse.ArgumentParser:
     r_soak.add_argument("--fsync", choices=["always", "interval", "never"],
                         default="interval",
                         help="WAL durability policy (default: interval)")
+    r_soak.add_argument("--cluster", action="store_true",
+                        help="run SWIM agents on every server (gossip "
+                        "membership + failure detection)")
+    r_soak.add_argument("--kill-primary", action="store_true",
+                        help="crash a primary mid-run and require automatic "
+                        "failover inside the checked trace (implies "
+                        "--cluster)")
+    r_soak.add_argument("--probe-period", type=float, default=0.1,
+                        help="SWIM probe period (s)")
+    r_soak.add_argument("--suspect-timeout", type=float, default=0.3,
+                        help="suspicion age before a member is declared "
+                        "dead (s)")
     r_soak.set_defaults(func=cmd_ring_soak)
 
     p_store = sub.add_parser(
@@ -1304,6 +1499,24 @@ def build_parser() -> argparse.ArgumentParser:
     o_diff.add_argument("--prometheus", action="store_true",
                         help="render the diff as Prometheus text")
     o_diff.set_defaults(func=cmd_obs_diff)
+
+    p_cluster = sub.add_parser(
+        "cluster", help="inspect a live cluster's membership and epoch")
+    cluster_sub = p_cluster.add_subparsers(dest="cluster_command",
+                                           required=True)
+
+    c_status = cluster_sub.add_parser(
+        "status", help="one member's view: states, incarnations, epoch")
+    c_status.add_argument("target", help="member address (host:port)")
+    c_status.add_argument("--timeout", type=float, default=2.0)
+    c_status.set_defaults(func=cmd_cluster_status)
+
+    c_watch = cluster_sub.add_parser(
+        "watch", help="poll a member's view until interrupted")
+    c_watch.add_argument("target", help="member address (host:port)")
+    c_watch.add_argument("--interval", type=float, default=1.0)
+    c_watch.add_argument("--timeout", type=float, default=2.0)
+    c_watch.set_defaults(func=cmd_cluster_watch)
 
     return parser
 

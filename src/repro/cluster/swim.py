@@ -1,0 +1,837 @@
+"""SWIM-style failure detection with gossip piggybacking and automatic,
+epoch-driven failover.
+
+One :class:`SwimAgent` embeds in each :class:`~repro.net.server.
+NetObjectServer` (``server.agent``); agent traffic rides the server's
+normal framed-TCP port, so a member needs no second listener and the
+probe path exercises exactly the socket the data plane lives on — a
+member that can serve a probe can serve a write.
+
+**The protocol** (Das, Gupta & Motivala's SWIM, adapted):
+
+* every ``probe_period`` the agent pings the next member of a shuffled
+  rotation (``ping`` → ``ping-ack``, bounded by ``probe_timeout``);
+* a failed direct probe is retried *indirectly* through ``k`` proxy
+  members (``ping-req`` → proxy pings the target → ``ping-req-ack``),
+  which disambiguates a dead member from a dead or half-open *link* —
+  the case :class:`~repro.net.faults.FaultInjector` asymmetric
+  partitions reproduce and naive heartbeating gets wrong;
+* a member failing both becomes **suspect**; after ``suspect_timeout``
+  without refutation it is declared **dead** (terminal);
+* a member learning it is suspected *refutes*: it re-announces itself
+  alive at ``incarnation + 1``, which supersedes the suspicion wherever
+  the gossip spread it (:mod:`repro.cluster.view` precedence);
+* every probe frame piggybacks the sender's
+  :class:`~repro.cluster.view.ClusterView` wire payload — membership
+  spreads epidemically with zero dedicated gossip traffic.
+
+**Detection latency as a Δ term.**  A member crashing right after its
+last probe answer is discovered no later than::
+
+    detection_bound = 3 * probe_period + suspect_timeout
+
+(one period until its next probe slot, one for the direct+indirect round
+to fail, one slack for a serialized in-flight probe, then the suspicion
+must age out).  This bound is exactly the Δ the coordinator passes to
+:meth:`~repro.net.server.NetObjectServer.promote` — the new primary's
+blind window — and the bound ``bench_failover`` measures against
+(docs/CLUSTER.md).
+
+**Failover.**  On a dead transition the *coordinator* (lowest-id alive
+member — deterministic over a converged view, no election) runs
+:func:`~repro.cluster.failover.failover_ring`: handoff copies to the
+refilled replica rows, ``promote`` frames to the devices gaining
+primaries, then installs the ``epoch + 1`` ring and lets gossip announce
+it; routers and members fetch the layout on seeing the higher epoch.
+Joins run the same dance through :func:`~repro.cluster.failover.
+join_ring` (the stock :class:`~repro.ring.rebalance.Rebalancer`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import logging
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.net.faults import FaultInjector
+from repro.net.framing import (
+    BYE,
+    ERROR,
+    HANDOFF,
+    HANDOFF_ACK,
+    HELLO,
+    HELLO_ACK,
+    PING,
+    PING_ACK,
+    PING_REQ,
+    PING_REQ_ACK,
+    PROMOTE,
+    RING_FETCH,
+    FrameConnection,
+    FrameError,
+)
+from repro.cluster.failover import FailoverPlan, failover_ring, join_ring
+from repro.cluster.view import (
+    ALIVE,
+    DEAD,
+    LEFT,
+    SUSPECT,
+    ClusterView,
+    MemberInfo,
+)
+from repro.ring.rebalance import PartitionMove, replay_handoff
+from repro.ring.ring import Ring
+
+logger = logging.getLogger(__name__)
+
+#: Agent connections identify as ``CLUSTER_CLIENT_BASE + member_id`` so
+#: their request ids can never collide with a real client's entries in
+#: the server's exactly-once reply cache.
+CLUSTER_CLIENT_BASE = 1_000_000
+
+
+@dataclass
+class ClusterConfig:
+    """Tuning knobs of the failure detector (CLI: ``--probe-period``,
+    ``--suspect-timeout``)."""
+
+    probe_period: float = 0.2
+    #: Per-attempt bound on a ping round trip; defaults to half the
+    #: probe period so a serialized direct+indirect round never eats a
+    #: whole extra probe slot.
+    probe_timeout: Optional[float] = None
+    suspect_timeout: float = 0.6
+    indirect_probes: int = 2  #: k proxy members for a ping-req round
+    #: Bound on one handoff/promote RPC during failover.
+    rpc_timeout: float = 2.0
+    auto_failover: bool = True  #: coordinator repairs the ring on death
+    auto_join: bool = True  #: coordinator rebalances onto joiners
+    seed: Optional[int] = None  #: rotation-shuffle determinism for tests
+
+    def __post_init__(self) -> None:
+        if self.probe_period <= 0:
+            raise ValueError(
+                f"probe_period must be positive, got {self.probe_period}"
+            )
+        if self.probe_timeout is None:
+            self.probe_timeout = self.probe_period / 2.0
+        if self.probe_timeout <= 0:
+            raise ValueError(
+                f"probe_timeout must be positive, got {self.probe_timeout}"
+            )
+        if self.suspect_timeout < 0:
+            raise ValueError(
+                f"suspect_timeout must be non-negative, got {self.suspect_timeout}"
+            )
+        if self.indirect_probes < 0:
+            raise ValueError(
+                f"indirect_probes must be non-negative, got {self.indirect_probes}"
+            )
+
+    @property
+    def detection_bound(self) -> float:
+        """Worst-case crash-to-dead latency; the Δ of a promotion's
+        blind window and the bound ``bench_failover`` asserts."""
+        return 3.0 * self.probe_period + self.suspect_timeout
+
+
+class AgentLink:
+    """One agent's framed connection to a peer member's server port.
+
+    Deliberately minimal next to :class:`~repro.net.client.NetCacheClient`:
+    a HELLO handshake (no clock sync — probes measure liveness, not
+    time), request/reply matching by id, a single attempt per request
+    (SWIM's probe rounds *are* the retry mechanism; a retransmit ladder
+    here would blur the detector's timing).  An optional
+    :class:`~repro.net.faults.FaultInjector` attaches after the
+    handshake, so tests can sever this one pairwise link — including
+    asymmetrically (the half-open case).
+    """
+
+    def __init__(
+        self,
+        member_id: int,
+        peer_id: int,
+        host: str,
+        port: int,
+        *,
+        faults: Optional[FaultInjector] = None,
+        connect_timeout: float = 1.0,
+    ) -> None:
+        self.member_id = member_id
+        self.peer_id = peer_id
+        self.host = host
+        self.port = port
+        self.faults = faults
+        self.connect_timeout = connect_timeout
+        self.conn: Optional[FrameConnection] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._requests = itertools.count()
+        self._recv_task: Optional[asyncio.Task] = None
+        self._lost = False
+
+    @property
+    def connected(self) -> bool:
+        return self.conn is not None and not self._lost
+
+    async def connect(self) -> "AgentLink":
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port),
+            self.connect_timeout,
+        )
+        self.conn = FrameConnection(reader, writer)
+        await self.conn.send({
+            "kind": HELLO,
+            "client_id": CLUSTER_CLIENT_BASE + self.member_id,
+        })
+        ack = await asyncio.wait_for(self.conn.recv(), self.connect_timeout)
+        if ack is None or ack.get("kind") != HELLO_ACK:
+            raise ConnectionError(f"bad agent handshake from {self.peer_id}: {ack!r}")
+        # Faults attach only after the handshake, like the data client:
+        # the link always *forms*; the protocol runs over the cut.
+        self.conn.faults = self.faults
+        self._lost = False
+        self._recv_task = asyncio.ensure_future(self._recv_loop())
+        return self
+
+    async def request(
+        self, message: Dict[str, Any], timeout: float
+    ) -> Dict[str, Any]:
+        """One attempt, one timeout; raises ``asyncio.TimeoutError`` or
+        ``ConnectionError``.  An ``error`` reply raises ``FrameError``."""
+        if not self.connected:
+            raise ConnectionError(f"link to member {self.peer_id} is down")
+        req = next(self._requests)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[req] = future
+        try:
+            await self.conn.send(dict(message, req=req))
+            reply = await asyncio.wait_for(future, timeout)
+        finally:
+            self._pending.pop(req, None)
+        if reply.get("kind") == ERROR:
+            raise FrameError(str(reply.get("error")))
+        return reply
+
+    async def _recv_loop(self) -> None:
+        try:
+            while True:
+                frame = await self.conn.recv()
+                if frame is None:
+                    break
+                req = frame.get("req")
+                if req is None:
+                    continue  # pushes are for data clients, not agents
+                future = self._pending.get(req)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+        except (FrameError, ConnectionError):
+            pass
+        finally:
+            self._lost = True
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ConnectionError(f"link to member {self.peer_id} lost")
+                    )
+
+    async def close(self) -> None:
+        if self.conn is not None:
+            try:
+                await self.conn.send({"kind": BYE})
+            except (ConnectionError, FrameError):
+                pass
+        if self._recv_task is not None:
+            self._recv_task.cancel()
+            try:
+                await self._recv_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._recv_task = None
+        if self.conn is not None:
+            await self.conn.close()
+            self.conn = None
+
+
+class _LocalSourceTransport:
+    """The handoff transport of an agent acting as a move *source*:
+    reads come from its own server's store (never a remote fetch — a
+    ``fetch`` would manufacture initial values for never-written
+    objects), writes go to the destination over agent links as ordinary
+    data-plane ``write`` frames, so the destination's install follows
+    the same log-before-ack path as any client write."""
+
+    def __init__(self, agent: "SwimAgent") -> None:
+        self.agent = agent
+
+    async def read(self, device_id: int, obj: str) -> Any:
+        if device_id != self.agent.member_id:
+            raise KeyError(
+                f"agent {self.agent.member_id} cannot source objects "
+                f"for device {device_id}"
+            )
+        version = self.agent.server.store.get(obj)
+        if version is None:
+            raise KeyError(obj)
+        return version.value
+
+    async def write(self, device_id: int, obj: str, value: Any) -> float:
+        from repro.protocol import messages
+
+        link = await self.agent._link(device_id)
+        reply = await link.request(
+            {"kind": messages.WRITE, "obj": obj, "value": value},
+            self.agent.config.rpc_timeout,
+        )
+        return float(reply.get("alpha", 0.0))
+
+
+class SwimAgent:
+    """The failure detector + failover driver of one cluster member.
+
+    ``member_id`` doubles as the ring device id.  ``link_faults`` maps a
+    peer id to the :class:`FaultInjector` for this member's link to that
+    peer (tests sever individual pairs, possibly one direction only).
+    ``instruments`` is a
+    :class:`~repro.obs.instruments.ClusterInstruments`.
+    """
+
+    def __init__(
+        self,
+        member_id: int,
+        server: Any,
+        view: ClusterView,
+        config: Optional[ClusterConfig] = None,
+        *,
+        link_faults: Optional[Callable[[int], Optional[FaultInjector]]] = None,
+        instruments: Optional[Any] = None,
+    ) -> None:
+        self.member_id = member_id
+        self.server = server
+        self.view = view
+        self.config = config or ClusterConfig()
+        self.link_faults = link_faults
+        self.instruments = instruments
+        self.incarnation = 0
+        self.links: Dict[int, AgentLink] = {}
+        self.rng = random.Random(
+            self.config.seed if self.config.seed is None
+            else self.config.seed + member_id
+        )
+        self._rotation: List[int] = []
+        self._suspect_deadlines: Dict[int, float] = {}
+        self._task: Optional[asyncio.Task] = None
+        self._catchup_task: Optional[asyncio.Task] = None
+        self._failover_task: Optional[asyncio.Task] = None
+        self._self_dead = False
+        # Observable record for harnesses and tests: (monotonic instant,
+        # event, detail) tuples — transitions, refutations, failovers.
+        self.events: List[Tuple[float, str, Any]] = []
+        self.dead_detected: Dict[int, float] = {}
+        self.refutations = 0
+        self.failovers = 0
+        self.last_failover_seconds: Optional[float] = None
+        self.probes_sent = 0
+        self.indirect_probes_sent = 0
+        self.probes_failed = 0
+        if self.view.get(member_id) is None:
+            self.view.update(
+                MemberInfo(member_id, server.address), now=self._mono()
+            )
+        if self.instruments is not None:
+            self.instruments.bind_epoch(lambda: self.server.epoch)
+            self.instruments.bind_gossip(
+                lambda: sum(
+                    link.conn.bytes_sent
+                    for link in self.links.values() if link.conn is not None
+                ),
+                lambda: sum(
+                    link.conn.bytes_received
+                    for link in self.links.values() if link.conn is not None
+                ),
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @staticmethod
+    def _mono() -> float:
+        return time.monotonic()
+
+    async def start(self) -> "SwimAgent":
+        self.server.agent = self
+        if self.view.ring is not None:
+            self.server.set_ring(self.view.ring)
+        self._task = asyncio.ensure_future(self._loop())
+        return self
+
+    async def stop(self) -> None:
+        for task in (self._task, self._catchup_task, self._failover_task):
+            if task is not None and not task.done():
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+        self._task = self._catchup_task = self._failover_task = None
+        for link in self.links.values():
+            await link.close()
+        self.links.clear()
+        if getattr(self.server, "agent", None) is self:
+            self.server.agent = None
+
+    @property
+    def coordinator(self) -> Optional[int]:
+        return self.view.coordinator()
+
+    def status(self) -> Dict[str, Any]:
+        """One member's answer to ``repro cluster status``."""
+        return {
+            "member": self.member_id,
+            "incarnation": self.incarnation,
+            "coordinator": self.coordinator,
+            "epoch": self.server.epoch,
+            "members": self.view.wire_payload()["members"],
+            "probes_sent": self.probes_sent,
+            "probes_failed": self.probes_failed,
+            "refutations": self.refutations,
+            "failovers": self.failovers,
+        }
+
+    # -- the probe loop ------------------------------------------------------
+
+    async def _loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.probe_period)
+            try:
+                self._expire_suspects()
+                target = self._next_target()
+                if target is not None:
+                    await self._probe(target)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                logger.warning(
+                    "member %s probe round failed: %r", self.member_id, exc
+                )
+
+    def _next_target(self) -> Optional[int]:
+        """SWIM's randomized round-robin: shuffle the membership, walk
+        it to exhaustion, reshuffle — every member is probed within one
+        rotation, in an order distinct per prober."""
+        targets = self.view.probe_targets(self.member_id)
+        if not targets:
+            return None
+        self._rotation = [m for m in self._rotation if m in targets]
+        if not self._rotation:
+            self._rotation = list(targets)
+            self.rng.shuffle(self._rotation)
+        return self._rotation.pop()
+
+    def _gossip(self) -> Dict[str, Any]:
+        return self.view.wire_payload()
+
+    async def _probe(self, target: int) -> None:
+        self.probes_sent += 1
+        started = self._mono()
+        if await self._direct_ping(target):
+            if self.instruments is not None:
+                self.instruments.on_probe(self._mono() - started, "ack")
+            return
+        if await self._indirect_ping(target):
+            if self.instruments is not None:
+                self.instruments.on_probe(self._mono() - started, "indirect")
+            return
+        self.probes_failed += 1
+        if self.instruments is not None:
+            self.instruments.on_probe(self._mono() - started, "failed")
+        self._suspect(target)
+
+    async def _direct_ping(self, target: int) -> bool:
+        try:
+            link = await self._link(target)
+            reply = await link.request(
+                {"kind": PING, "from": self.member_id, "gossip": self._gossip()},
+                self.config.probe_timeout,
+            )
+        except asyncio.CancelledError:
+            raise
+        except (asyncio.TimeoutError, ConnectionError, FrameError, OSError):
+            return False
+        self._merge_gossip(reply.get("gossip"))
+        return True
+
+    async def _indirect_ping(self, target: int) -> bool:
+        """Ask ``k`` proxies to probe the target on our behalf.  Any
+        proxy reaching it proves the member alive and localizes the
+        fault to our link — no suspicion, no false positive."""
+        proxies = [
+            m for m in self.view.ids(ALIVE)
+            if m not in (self.member_id, target)
+        ]
+        if not proxies or not self.config.indirect_probes:
+            return False
+        self.rng.shuffle(proxies)
+        proxies = proxies[: self.config.indirect_probes]
+
+        async def ask(proxy: int) -> bool:
+            try:
+                link = await self._link(proxy)
+                self.indirect_probes_sent += 1
+                reply = await link.request(
+                    {
+                        "kind": PING_REQ, "from": self.member_id,
+                        "target": target, "gossip": self._gossip(),
+                    },
+                    # The proxy needs its own probe_timeout to reach the
+                    # target; allow both legs.
+                    2.0 * self.config.probe_timeout,
+                )
+            except asyncio.CancelledError:
+                raise
+            except (asyncio.TimeoutError, ConnectionError, FrameError, OSError):
+                return False
+            self._merge_gossip(reply.get("gossip"))
+            return bool(reply.get("ok"))
+
+        results = await asyncio.gather(*(ask(p) for p in proxies))
+        return any(results)
+
+    async def _link(self, peer: int) -> AgentLink:
+        link = self.links.get(peer)
+        if link is not None and link.connected:
+            return link
+        info = self.view.get(peer)
+        if info is None or not info.address:
+            raise ConnectionError(f"no address known for member {peer}")
+        host, _, port = info.address.rpartition(":")
+        link = AgentLink(
+            self.member_id, peer, host, int(port),
+            faults=self.link_faults(peer) if self.link_faults else None,
+            connect_timeout=max(self.config.probe_timeout, 0.2),
+        )
+        await link.connect()
+        old = self.links.get(peer)
+        if old is not None:
+            await old.close()
+        self.links[peer] = link
+        return link
+
+    # -- membership transitions ----------------------------------------------
+
+    def _suspect(self, target: int) -> None:
+        info = self.view.get(target)
+        if info is None or info.state in (DEAD, LEFT):
+            return
+        change = self.view.update(
+            MemberInfo(target, info.address, info.incarnation, SUSPECT),
+            now=self._mono(),
+        )
+        if change is not None:
+            self._on_transitions([(target, change[0], change[1])])
+
+    def _expire_suspects(self) -> None:
+        now = self._mono()
+        for member, deadline in list(self._suspect_deadlines.items()):
+            info = self.view.get(member)
+            if info is None or info.state != SUSPECT:
+                self._suspect_deadlines.pop(member, None)
+                continue
+            if now < deadline:
+                continue
+            self._suspect_deadlines.pop(member, None)
+            change = self.view.update(
+                MemberInfo(member, info.address, info.incarnation, DEAD),
+                now=now,
+            )
+            if change is not None:
+                self._on_transitions([(member, change[0], change[1])])
+
+    def _merge_gossip(self, payload: Optional[Dict[str, Any]]) -> None:
+        if not isinstance(payload, dict):
+            return
+        transitions = self.view.merge(payload, now=self._mono())
+        self._refute_if_suspected()
+        if transitions:
+            self._on_transitions(transitions)
+        self._maybe_catch_up_ring()
+
+    def _refute_if_suspected(self) -> None:
+        """SWIM refutation: gossip says *we* are suspect — only we may
+        raise our incarnation, and doing so supersedes the suspicion
+        everywhere it has spread."""
+        own = self.view.get(self.member_id)
+        if own is None:
+            return
+        if own.state == SUSPECT:
+            self.incarnation = own.incarnation + 1
+            self.view.update(
+                MemberInfo(
+                    self.member_id, self.server.address,
+                    self.incarnation, ALIVE,
+                ),
+                now=self._mono(),
+            )
+            self.refutations += 1
+            self.events.append((self._mono(), "refuted", self.incarnation))
+            if self.instruments is not None:
+                self.instruments.on_refutation()
+        elif own.state in (DEAD, LEFT) and not self._self_dead:
+            # A false positive became terminal before our refutation
+            # landed: this id is unrecoverable (rejoin needs a fresh
+            # one).  Keep serving data, stop arguing.
+            self._self_dead = True
+            logger.warning(
+                "member %s was declared %s by the cluster",
+                self.member_id, own.state,
+            )
+
+    def _on_transitions(
+        self, transitions: Sequence[Tuple[int, Optional[str], str]]
+    ) -> None:
+        now = self._mono()
+        dead_seen = False
+        join_seen = False
+        for member, old_state, new_state in transitions:
+            self.events.append((now, f"{old_state}->{new_state}", member))
+            if self.instruments is not None:
+                self.instruments.on_transition(new_state)
+            if new_state == SUSPECT and member != self.member_id:
+                self._suspect_deadlines.setdefault(
+                    member, now + self.config.suspect_timeout
+                )
+            elif new_state == ALIVE:
+                self._suspect_deadlines.pop(member, None)
+                if member != self.member_id:
+                    join_seen = True
+            elif new_state in (DEAD, LEFT):
+                self._suspect_deadlines.pop(member, None)
+                self.dead_detected.setdefault(member, now)
+                dead_seen = True
+        if dead_seen and self.config.auto_failover:
+            self._maybe_run_failover()
+        if join_seen and self.config.auto_join:
+            self._maybe_run_failover()  # same driver handles joins
+
+    # -- ring catch-up (gossip said a newer epoch exists) ---------------------
+
+    def _maybe_catch_up_ring(self) -> None:
+        held = int((self.view.ring or {}).get("epoch", -1))
+        if self.view.ring_epoch <= max(held, self.server.epoch):
+            if self.view.ring is not None and held > self.server.epoch:
+                self.server.set_ring(self.view.ring)
+            return
+        if self._catchup_task is None or self._catchup_task.done():
+            self._catchup_task = asyncio.ensure_future(self._catch_up_ring())
+
+    async def _catch_up_ring(self) -> None:
+        wanted = self.view.ring_epoch
+        candidates = self.view.ids(ALIVE, SUSPECT)
+        coordinator = self.coordinator
+        if coordinator in candidates:
+            candidates.remove(coordinator)
+            candidates.insert(0, coordinator)
+        for peer in candidates:
+            if peer == self.member_id:
+                continue
+            try:
+                link = await self._link(peer)
+                reply = await link.request(
+                    {"kind": RING_FETCH}, self.config.rpc_timeout
+                )
+            except asyncio.CancelledError:
+                raise
+            except (asyncio.TimeoutError, ConnectionError, FrameError, OSError):
+                continue
+            ring = reply.get("ring")
+            if isinstance(ring, dict) and int(ring.get("epoch", 0)) >= wanted:
+                self.view.install_ring(ring)
+                self.server.set_ring(ring)
+                return
+
+    # -- failover (coordinator only) ------------------------------------------
+
+    def _maybe_run_failover(self) -> None:
+        if self.coordinator != self.member_id:
+            return
+        if self._failover_task is None or self._failover_task.done():
+            self._failover_task = asyncio.ensure_future(self._run_repairs())
+
+    def _ring_in_force(self) -> Optional[Ring]:
+        ring_dict = self.server.ring or self.view.ring
+        if ring_dict is None:
+            return None
+        return Ring.from_dict(ring_dict)
+
+    async def _run_repairs(self) -> None:
+        """Drive every pending membership repair: dead devices out
+        first (promotion-first failover), then joiners in (rebalance).
+        Re-checks after each plan — deaths during a repair are handled
+        by the next round, and an already-current ring is a no-op."""
+        try:
+            while True:
+                ring = self._ring_in_force()
+                if ring is None:
+                    return
+                dead = [
+                    m for m in self.view.ids(DEAD, LEFT) if m in ring.devices
+                ]
+                if dead:
+                    await self._execute_plan(
+                        failover_ring(ring, dead), kind="failover"
+                    )
+                    continue
+                joiner = next(
+                    (
+                        m for m in self.view.ids(ALIVE)
+                        if m not in ring.devices and self.view.get(m).address
+                    ),
+                    None,
+                )
+                if joiner is not None and self.config.auto_join:
+                    info = self.view.get(joiner)
+                    await self._execute_plan(
+                        join_ring(ring, joiner, info.address),
+                        kind="join",
+                    )
+                    continue
+                return
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            logger.warning(
+                "coordinator %s repair failed: %r", self.member_id, exc
+            )
+
+    async def _execute_plan(self, plan: FailoverPlan, kind: str) -> None:
+        started = self._mono()
+        new_dict = plan.ring.as_dict()
+        bound = self.config.detection_bound
+        # 1. Handoff: copies into refilled rows, before any router can
+        #    route by the new layout.
+        for src, moves in sorted(plan.moves_by_source().items()):
+            if src == self.member_id:
+                await self._replay_moves(moves)
+                continue
+            try:
+                link = await self._link(src)
+                await link.request(
+                    {
+                        "kind": HANDOFF,
+                        "moves": [
+                            [m.partition, m.replica, m.src, m.dst]
+                            for m in moves
+                        ],
+                        "epoch": plan.ring.epoch,
+                    },
+                    self.config.rpc_timeout,
+                )
+            except asyncio.CancelledError:
+                raise
+            except (asyncio.TimeoutError, ConnectionError, FrameError, OSError) as exc:
+                logger.warning(
+                    "handoff to member %s failed: %r (anti-entropy repairs)",
+                    src, exc,
+                )
+        # 2. Promotion: every device gaining primary authority runs the
+        #    recovery-shaped rule before the cutover reaches routers.
+        for dev in plan.promoted:
+            if dev == self.member_id:
+                self.server.set_ring(new_dict)
+                await self.server.promote(bound)
+                self.events.append((self._mono(), "promoted", self.member_id))
+                continue
+            try:
+                link = await self._link(dev)
+                await link.request(
+                    {"kind": PROMOTE, "bound": bound, "ring": new_dict},
+                    self.config.rpc_timeout,
+                )
+            except asyncio.CancelledError:
+                raise
+            except (asyncio.TimeoutError, ConnectionError, FrameError, OSError) as exc:
+                logger.warning("promote of member %s failed: %r", dev, exc)
+        # 3. Cutover: install + announce.  Gossip spreads the epoch;
+        #    members and routers pull the layout when they see it.
+        self.server.set_ring(new_dict)
+        self.view.install_ring(new_dict)
+        elapsed = self._mono() - started
+        self.failovers += 1
+        self.last_failover_seconds = elapsed
+        self.events.append((self._mono(), kind, plan.ring.epoch))
+        if self.instruments is not None:
+            self.instruments.on_failover(elapsed)
+        logger.info(
+            "%s to ring epoch %d by coordinator %s in %.3fs "
+            "(promoted=%s moves=%d)",
+            kind, plan.ring.epoch, self.member_id, elapsed,
+            list(plan.promoted), len(plan.moves),
+        )
+
+    async def _replay_moves(self, moves: Sequence[PartitionMove]) -> None:
+        """Source-side handoff: push this member's copies of the moved
+        partitions to their new holders, via the stock replay engine."""
+        mine = [m for m in moves if m.src == self.member_id]
+        ring = self._ring_in_force()
+        if not mine or ring is None:
+            return
+        objects = list(self.server.store.keys())
+        report = await replay_handoff(
+            mine, objects, ring, _LocalSourceTransport(self),
+            retries=2, backoff=0.05,
+        )
+        self.events.append(
+            (self._mono(), "handoff", {
+                "moves": report.moves, "copied": report.objects_copied,
+            }),
+        )
+
+    # -- inbound frames (routed here by the server) ---------------------------
+
+    async def on_frame(self, conn: FrameConnection, frame: Dict[str, Any]) -> None:
+        kind = str(frame.get("kind"))
+        req = frame.get("req")
+        if kind == PING:
+            self._merge_gossip(frame.get("gossip"))
+            await conn.send({
+                "kind": PING_ACK, "req": req, "from": self.member_id,
+                "gossip": self._gossip(), "epoch": self.server.epoch,
+            })
+            return
+        if kind == PING_REQ:
+            self._merge_gossip(frame.get("gossip"))
+            target = int(frame.get("target", -1))
+            ok = await self._direct_ping(target) if target >= 0 else False
+            await conn.send({
+                "kind": PING_REQ_ACK, "req": req, "from": self.member_id,
+                "target": target, "ok": ok,
+                "gossip": self._gossip(), "epoch": self.server.epoch,
+            })
+            return
+        if kind == HANDOFF:
+            moves = [
+                PartitionMove(int(p), int(r), int(s), int(d))
+                for p, r, s, d in frame.get("moves", [])
+            ]
+            await self._replay_moves(moves)
+            await conn.send({
+                "kind": HANDOFF_ACK, "req": req,
+                "moves": len(moves), "epoch": self.server.epoch,
+            })
+            return
+        await conn.send({
+            "kind": ERROR, "req": req,
+            "error": f"agent cannot handle {kind!r}",
+        })
+
+    def on_promoted(
+        self, frame: Dict[str, Any], outcome: Dict[str, Any]
+    ) -> None:
+        """Server hook: a PROMOTE frame was applied to our store."""
+        ring = frame.get("ring")
+        if isinstance(ring, dict):
+            self.view.install_ring(ring)
+        self.events.append((self._mono(), "promoted", outcome))

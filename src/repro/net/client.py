@@ -39,16 +39,20 @@ import asyncio
 import itertools
 import math
 from collections import deque
-from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.net.clocksync import SyncedClock
 from repro.net.faults import FaultInjector
 from repro.net.framing import (
     BUSY,
     BYE,
+    CLUSTER_STATE,
+    CLUSTER_VIEW,
     ERROR,
     HELLO,
     HELLO_ACK,
+    RING_FETCH,
+    RING_STATE,
     SYNC,
     SYNC_ACK,
     FrameConnection,
@@ -170,6 +174,14 @@ class NetCacheClient:
         self.context = 0.0
         self.stats = ClientStats()
         self.conn: Optional[FrameConnection] = None
+        # Cluster awareness: the highest ring epoch any server frame has
+        # carried (0 for a standalone server), a subscriber called on
+        # each advance, and the dead-connection latch that makes requests
+        # fail fast instead of burning the retransmit ladder against a
+        # server that is gone (docs/CLUSTER.md).
+        self.server_epoch = 0
+        self.on_epoch: Optional[Callable[[int, "NetCacheClient"], None]] = None
+        self._conn_lost = False
         self.pipeline_depth = pipeline_depth
         self.batch = batch
         self._requests = itertools.count()
@@ -266,6 +278,7 @@ class NetCacheClient:
         # Faults attach only now: the handshake always completes, the
         # workload runs over the unreliable link.
         self.conn.faults = self.faults
+        self._conn_lost = False
         self._recv_task = asyncio.ensure_future(self._recv_loop())
         return self
 
@@ -282,6 +295,7 @@ class NetCacheClient:
             raise ConnectionError("server closed during handshake")
         if ack.get("kind") != HELLO_ACK:
             raise ProtocolError(f"bad handshake reply: {ack!r}")
+        self._note_epoch(ack)
         await self._sync_clock(self.sync_rounds)
 
     async def _abandon_connection(self) -> None:
@@ -631,6 +645,45 @@ class NetCacheClient:
                 entry.mark_old()
                 self.stats.marked_old += 1
 
+    # -- cluster awareness ------------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        """False once the connection is known dead (requests fail fast)."""
+        return self.conn is not None and not self._conn_lost
+
+    def _note_epoch(self, frame: Dict[str, Any]) -> None:
+        """Track the server's ring epoch from any stamped frame; notify
+        the subscriber (the router) on each advance."""
+        epoch = frame.get("epoch")
+        if epoch is None:
+            return
+        epoch = int(epoch)
+        if epoch <= self.server_epoch:
+            return
+        self.server_epoch = epoch
+        if self.on_epoch is not None:
+            try:
+                self.on_epoch(epoch, self)
+            except Exception:
+                pass  # a broken subscriber must not kill the recv loop
+
+    async def fetch_ring(self) -> Tuple[int, Optional[Dict[str, Any]]]:
+        """Ask the server for its current ring: ``(epoch, ring dict or
+        None)``.  Epoch 0 with no ring means a standalone server."""
+        reply = await self._request({"kind": RING_FETCH})
+        if reply.get("kind") != RING_STATE:
+            raise ProtocolError(f"bad ring-fetch reply: {reply!r}")
+        return int(reply.get("epoch", 0)), reply.get("ring")
+
+    async def fetch_cluster_view(self) -> Tuple[int, Optional[Dict[str, Any]]]:
+        """Ask the server for its cluster view: ``(epoch, view dict or
+        None)`` — ``repro cluster status`` runs on this."""
+        reply = await self._request({"kind": CLUSTER_STATE})
+        if reply.get("kind") != CLUSTER_VIEW:
+            raise ProtocolError(f"bad cluster-state reply: {reply!r}")
+        return int(reply.get("epoch", 0)), reply.get("view")
+
     # -- transport --------------------------------------------------------------
 
     #: Upper bound on consecutive busy reissues before the request fails
@@ -655,6 +708,12 @@ class NetCacheClient:
         """
         if self.conn is None:
             raise NetError("client is not connected")
+        if self._conn_lost:
+            # Fail fast: the recv loop saw the connection die.  Burning
+            # the full retransmit ladder against a dead server would add
+            # seconds to every failover (docs/CLUSTER.md time-to-recover
+            # accounting); the caller's replica fallback handles it now.
+            raise NetError(f"connection to {self.host}:{self.port} is down")
         if req is None:
             req = next(self._requests)
         message = dict(message, req=req)
@@ -715,6 +774,7 @@ class NetCacheClient:
                 frame = await self.conn.recv()
                 if frame is None:
                     break
+                self._note_epoch(frame)
                 req = frame.get("req")
                 if req is not None:
                     future = self._pending.get(req)
@@ -730,6 +790,7 @@ class NetCacheClient:
         except (FrameError, ConnectionError):
             pass
         finally:
+            self._conn_lost = True
             for future in self._pending.values():
                 if not future.done():
                     future.set_exception(ConnectionError("connection lost"))

@@ -15,7 +15,12 @@ delivered and with what extra delay:
   delivered twice (replies are idempotent, duplicates are ignored by
   request id);
 * **partition** — while partitioned, *nothing* is delivered, until
-  :meth:`FaultInjector.heal` is called.
+  :meth:`FaultInjector.heal` is called.  A partition may be
+  **asymmetric**: ``partition("out")`` severs only this side's outbound
+  frames and ``partition("in")`` only what it *receives* — the half-open
+  link that defeats naive heartbeats (the peer is alive and serving
+  others, but its acks never arrive), which is exactly the case SWIM's
+  indirect ping-req probing exists to disambiguate (docs/CLUSTER.md).
 
 ``kinds`` restricts the injector to specific message kinds — e.g.
 delaying only ``push`` frames models slow server-initiated propagation
@@ -58,6 +63,11 @@ class FaultStats:
     dropped: int = 0
     duplicated: int = 0
     delayed: int = 0
+    dropped_inbound: int = 0
+
+
+#: Legal ``direction`` arguments of :meth:`FaultInjector.partition`.
+PARTITION_DIRECTIONS = ("both", "out", "in")
 
 
 class FaultInjector:
@@ -80,21 +90,51 @@ class FaultInjector:
         )
         self.rng = random.Random(config.seed)
         self.stats = FaultStats()
-        self._partitioned = False
+        self._cut: FrozenSet[str] = frozenset()
 
     # -- partition control ---------------------------------------------------
 
     @property
     def partitioned(self) -> bool:
-        return self._partitioned
+        """True while any direction is severed."""
+        return bool(self._cut)
 
-    def partition(self) -> None:
-        """Sever the link: every subsequent frame is silently dropped."""
-        self._partitioned = True
+    @property
+    def cut_directions(self) -> FrozenSet[str]:
+        """The severed directions: subset of ``{"out", "in"}``."""
+        return self._cut
+
+    def partition(self, direction: str = "both") -> None:
+        """Sever the link: affected frames are silently dropped.
+
+        ``direction`` is ``"both"`` (the classic full partition),
+        ``"out"`` (only frames *sent* through this injector are lost) or
+        ``"in"`` (only frames *received* by the connection this injector
+        is attached to are lost — the half-open link).  Directions
+        accumulate: ``partition("out")`` then ``partition("in")`` equals
+        ``partition("both")``; :meth:`heal` clears all of them.
+        """
+        if direction not in PARTITION_DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {PARTITION_DIRECTIONS}, "
+                f"got {direction!r}"
+            )
+        add = {"out", "in"} if direction == "both" else {direction}
+        self._cut = frozenset(self._cut | add)
 
     def heal(self) -> None:
-        """Restore the link."""
-        self._partitioned = False
+        """Restore the link (every severed direction)."""
+        self._cut = frozenset()
+
+    def drops_inbound(self, kind: str) -> bool:
+        """Whether an arriving frame of ``kind`` is lost to an inbound
+        partition (consulted by :meth:`FrameConnection.recv`).  Like the
+        outbound check, a partition severs *every* kind, ignoring this
+        injector's kind filter."""
+        if "in" not in self._cut:
+            return False
+        self.stats.dropped_inbound += 1
+        return True
 
     # -- the per-frame decision ----------------------------------------------
 
@@ -111,7 +151,7 @@ class FaultInjector:
         """Delays of the copies to deliver for one frame of ``kind``."""
         # A partition severs the link for *every* frame, including kinds
         # outside this injector's filter — check it before the kind filter.
-        if self._partitioned:
+        if "out" in self._cut:
             self.stats.planned += 1
             self.stats.dropped += 1
             return []

@@ -47,6 +47,43 @@ ERROR = "error"
 #: off and reissues under the same request id.
 BUSY = "busy"
 
+# Cluster control plane (repro.cluster; docs/CLUSTER.md).  Probe frames
+# piggyback gossip (a ClusterView wire payload) and are served inline by
+# the server like SYNC — never deduped, never queued behind data-plane
+# backpressure.
+#: Agent -> agent: direct liveness probe, carries piggybacked gossip.
+PING = "ping"
+#: The probe's answer, carrying the responder's gossip back.
+PING_ACK = "ping-ack"
+#: Agent -> proxy agent: "ping this target on my behalf" (SWIM's
+#: indirect probe — disambiguates a dead member from a dead *link*).
+PING_REQ = "ping-req"
+#: Proxy -> requester: whether the indirect probe got through.
+PING_REQ_ACK = "ping-req-ack"
+#: Anyone -> server: send me your current ring (epoch + layout).
+RING_FETCH = "ring-fetch"
+#: The ring reply: ``{"epoch": int, "ring": dict | null}``.
+RING_STATE = "ring-state"
+#: Anyone -> server: send me your cluster view (``repro cluster status``).
+CLUSTER_STATE = "cluster-state"
+#: The view reply: ``{"epoch": int, "view": dict | null}``.
+CLUSTER_VIEW = "cluster-view"
+#: Coordinator -> new primary: apply the promotion rule
+#: ``Context := max(known, t_promote - bound)`` and mark versions older
+#: than the detection bound *old* (re-proved on first touch).
+PROMOTE = "promote"
+PROMOTE_ACK = "promote-ack"
+#: Coordinator -> source device: push the listed partition moves to
+#: their new holders before the epoch cutover (handoff replay).
+HANDOFF = "handoff"
+HANDOFF_ACK = "handoff-ack"
+
+#: Frame kinds the server hands to its cluster agent (or answers itself
+#: for RING_FETCH / CLUSTER_STATE), outside the exactly-once data plane.
+CLUSTER_KINDS = frozenset({
+    PING, PING_REQ, RING_FETCH, CLUSTER_STATE, PROMOTE, HANDOFF,
+})
+
 _LENGTH = struct.Struct(">I")
 
 
@@ -157,15 +194,21 @@ class FrameConnection:
             pass  # peer went away; the reader side will notice
 
     async def recv(self) -> Optional[Dict[str, Any]]:
-        frame = await read_frame(self.reader)
-        if frame is not None:
+        while True:
+            frame = await read_frame(self.reader)
+            if frame is None:
+                return None
             self.received += 1
             # Approximate (re-encoded) payload size: the reader consumed
             # the original bytes already; close enough for byte gauges.
             self.bytes_received += _LENGTH.size + len(
                 json.dumps(frame, separators=(",", ":"))
             )
-        return frame
+            if self.faults is not None and self.faults.drops_inbound(
+                str(frame.get("kind", ""))
+            ):
+                continue  # asymmetric partition: arrived, never delivered
+            return frame
 
     async def close(self) -> None:
         for task in list(self._delayed):

@@ -23,6 +23,7 @@ from __future__ import annotations
 import asyncio
 import math
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -63,6 +64,16 @@ class RingReport:
     #: when the soak ran with a registry; the online counterpart of the
     #: offline ``tsc`` verdict.
     ontime: Optional[Dict[str, object]] = None
+    #: Failover soak fields (``cluster=True`` + ``kill_primary_midway``):
+    #: the killed device, crash-to-dead-transition and crash-to-first-
+    #: acked-write latencies (seconds), the epoch the cluster converged
+    #: on, and how many servers ran the promotion rule.
+    killed_device: Optional[int] = None
+    time_to_detect: Optional[float] = None
+    time_to_recover: Optional[float] = None
+    failover_epoch: Optional[int] = None
+    promotions: int = 0
+    detection_bound: Optional[float] = None
 
     @property
     def late_reads(self) -> List[ReadVerdict]:
@@ -113,6 +124,10 @@ async def ring_cluster(
     write_quorum: Optional[int] = None,
     read_policy: str = "primary",
     add_device_midway: bool = False,
+    cluster: bool = False,
+    probe_period: float = 0.1,
+    suspect_timeout: float = 0.3,
+    kill_primary_midway: bool = False,
     host: str = "127.0.0.1",
     registry: Optional[object] = None,
     store_root: Optional[str] = None,
@@ -183,6 +198,40 @@ async def ring_cluster(
         servers[dev_id] = server
     endpoints = {dev_id: (host, srv.port) for dev_id, srv in servers.items()}
 
+    if kill_primary_midway and not cluster:
+        raise ValueError("kill_primary_midway requires cluster=True")
+    if kill_primary_midway and add_device_midway:
+        raise ValueError(
+            "kill_primary_midway and add_device_midway are separate soaks"
+        )
+    cluster_agents: Dict[int, object] = {}
+    cluster_config = None
+    if cluster:
+        from repro.cluster import ClusterConfig, ClusterView, SwimAgent
+
+        cluster_config = ClusterConfig(
+            probe_period=probe_period, suspect_timeout=suspect_timeout,
+            seed=seed,
+        )
+        cluster_instruments = {}
+        if registry is not None:
+            from repro.obs.instruments import ClusterInstruments
+
+            cluster_instruments = {
+                dev_id: ClusterInstruments(registry, member=dev_id)
+                for dev_id in servers
+            }
+        addresses = {dev_id: srv.address for dev_id, srv in servers.items()}
+        for dev_id, server in servers.items():
+            agent = SwimAgent(
+                dev_id, server,
+                ClusterView.seed(addresses, ring=ring.as_dict()),
+                cluster_config,
+                instruments=cluster_instruments.get(dev_id),
+            )
+            await agent.start()
+            cluster_agents[dev_id] = agent
+
     recorder = TraceRecorder()
     values = UniqueValueFactory()
     client_skews = default_skews(n_clients, skew)
@@ -199,11 +248,20 @@ async def ring_cluster(
     moves: List[PartitionMove] = []
     handoff: Optional[HandoffReport] = None
     final_ring = ring
+    killed_device: Optional[int] = None
+    time_to_detect: Optional[float] = None
+    time_to_recover: Optional[float] = None
+    failover_epoch: Optional[int] = None
+    promotions = 0
     try:
         for router in routers:
             await router.connect()
             router.start_anti_entropy(period=min(0.05, delta / 4.0)
                                       if not math.isinf(delta) else 0.05)
+            if cluster:
+                # Belt to the reply-stamp suspenders: poll for higher
+                # epochs too, so an idle router still converges.
+                router.start_epoch_watch(period=probe_period)
         # Seed: every object gets a first real version on its full
         # replica set, so no read depends on the servers' initial value.
         for obj in objects:
@@ -220,6 +278,103 @@ async def ring_cluster(
                     await router.read(obj)
 
         await asyncio.gather(*(mixed(r, rounds, 0) for r in routers))
+
+        if kill_primary_midway:
+            from repro.cluster import DEAD
+            from repro.net.client import NetError
+            from repro.ring.placement import PlacementError
+
+            # Crash the primary of the first workload object — no BYE,
+            # no clean snapshot, no manual swap_ring anywhere below:
+            # detection, promotion, and the routers' cutover all happen
+            # through the cluster subsystem.
+            victim = ring.primary_for(objects[0])
+            killed_device = victim
+            kill_at = time.monotonic()
+            await servers[victim].abort()
+            await cluster_agents[victim].stop()
+
+            # Recovery from the client's seat: keep writing the orphaned
+            # object until a write is acknowledged again.  PlacementError
+            # triggers the router's refresh-then-retry; until a survivor
+            # serves the new epoch the retry fails and we back off.
+            deadline = kill_at + cluster_config.detection_bound + 10.0
+            recovered_at = None
+            while time.monotonic() < deadline:
+                try:
+                    await routers[0].write(
+                        objects[0], values.next_value(routers[0].client_id)
+                    )
+                    recovered_at = time.monotonic()
+                    break
+                except (PlacementError, NetError):
+                    await asyncio.sleep(probe_period / 4.0)
+            if recovered_at is not None:
+                time_to_recover = recovered_at - kill_at
+
+            # Let the membership converge: every survivor serving the
+            # failed-over epoch and holding the victim dead.
+            survivors = {
+                d: a for d, a in cluster_agents.items() if d != victim
+            }
+            while time.monotonic() < deadline:
+                if all(
+                    victim in a.view.ids(DEAD)
+                    and a.server.epoch > ring.epoch
+                    for a in survivors.values()
+                ):
+                    break
+                await asyncio.sleep(probe_period / 2.0)
+            detected = [
+                a.dead_detected[victim] for a in survivors.values()
+                if victim in a.dead_detected
+            ]
+            if detected:
+                time_to_detect = min(detected) - kill_at
+            promotions = sum(s.promotions for d, s in servers.items()
+                             if d != victim)
+            failover_epoch = max(a.server.epoch for a in survivors.values())
+            coordinator_ring = next(
+                (a.server.ring for a in survivors.values()
+                 if a.server.ring is not None
+                 and int(a.server.ring.get("epoch", 0)) == failover_epoch),
+                None,
+            )
+            if coordinator_ring is not None:
+                final_ring = Ring.from_dict(coordinator_ring)
+            if registry is not None and cluster:
+                for d, a in survivors.items():
+                    if a.instruments is None:
+                        continue
+                    if time_to_detect is not None:
+                        a.instruments.set_time_to_detect(time_to_detect)
+                    if time_to_recover is not None:
+                        a.instruments.set_time_to_recover(time_to_recover)
+
+            # The workload resumes against the survivors; early rounds
+            # may still race the routers' cutover, so tolerate and retry.
+            async def mixed_after_failover(router: RingRouter, n: int) -> None:
+                rng = random.Random(seed + 97 * router.client_id)
+                for _ in range(n):
+                    await asyncio.sleep(rng.uniform(0.0, 2 * think))
+                    obj = rng.choice(list(objects))
+                    write = rng.random() < write_fraction
+                    for _attempt in range(40):
+                        try:
+                            if write:
+                                await router.write(
+                                    obj, values.next_value(router.client_id)
+                                )
+                            else:
+                                await router.read(obj)
+                            break
+                        except (PlacementError, NetError):
+                            await asyncio.sleep(probe_period / 4.0)
+
+            await asyncio.gather(
+                *(mixed_after_failover(r, max(rounds // 2, 5))
+                  for r in routers)
+            )
 
         if add_device_midway:
             new_id = n_servers
@@ -278,6 +433,8 @@ async def ring_cluster(
         for router in routers:
             await router.placement.drain()
     finally:
+        for agent in cluster_agents.values():
+            await agent.stop()
         for router in routers:
             await router.close()
         for server in servers.values():
@@ -302,6 +459,15 @@ async def ring_cluster(
         moves=list(moves),
         handoff=handoff,
         ontime=instruments.summary() if instruments is not None else None,
+        killed_device=killed_device,
+        time_to_detect=time_to_detect,
+        time_to_recover=time_to_recover,
+        failover_epoch=failover_epoch,
+        promotions=promotions,
+        detection_bound=(
+            cluster_config.detection_bound if cluster_config is not None
+            else None
+        ),
     )
 
 

@@ -38,7 +38,7 @@ import logging
 import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.clocks.rebase import RebasedClock
 from repro.net.client import NetCacheClient, NetError
@@ -62,6 +62,9 @@ class RouterStats:
     writes: int = 0
     off_ring_reads: int = 0  #: reads served by a device outside the replica set
     anti_entropy_errors: int = 0  #: anti-entropy loop deaths (non-cancellation)
+    ring_swaps: int = 0  #: live cutovers to a new ring (manual or epoch-driven)
+    epoch_refreshes: int = 0  #: ring fetches triggered by a stale-epoch signal
+    stale_retries: int = 0  #: operations retried after a refresh found a newer ring
     reads_by_device: Dict[int, int] = field(default_factory=dict)
     writes_by_device: Dict[int, int] = field(default_factory=dict)
 
@@ -187,12 +190,24 @@ class RingRouter:
                 pipeline_depth=pipeline_depth, batch=batch,
             )
         self.reference = min(self.clients)
+        # The reference *clock* outlives the reference client: when the
+        # reference device dies and is swapped out, later stamps keep
+        # rebasing onto the same timescale — a mid-trace jump of the
+        # merged timescale would corrupt every interval the checkers
+        # measure (docs/CLUSTER.md).
+        self.reference_clock = self.clients[self.reference].clock
+        self.epoch = ring.epoch
+        for client in self.clients.values():
+            client.on_epoch = self._note_epoch
         self.placement = ReplicatedPlacement(
             ring, _ClientTransport(self),
             write_quorum=write_quorum, delta=delta, clock=self.now,
         )
         self._spread_cursor = 0
         self._anti_entropy_task: Optional[asyncio.Task] = None
+        self._epoch_watch_task: Optional[asyncio.Task] = None
+        self._refresh_task: Optional[asyncio.Task] = None
+        self._retired: Set[asyncio.Task] = set()
         if registry is not None:
             from repro.obs.bridge import bind_placement_stats, bind_router_stats
 
@@ -215,8 +230,19 @@ class RingRouter:
         return self
 
     async def close(self) -> None:
+        await self.stop_epoch_watch()
+        if self._refresh_task is not None:
+            self._refresh_task.cancel()
+            try:
+                await self._refresh_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._refresh_task = None
         await self.stop_anti_entropy()
         await self.placement.drain()
+        if self._retired:
+            await asyncio.gather(*list(self._retired), return_exceptions=True)
+            self._retired.clear()
         for client in self.clients.values():
             await client.close()
 
@@ -229,16 +255,39 @@ class RingRouter:
     def swap_ring(self, ring: Ring) -> None:
         """Atomic cutover after a rebalance + handoff (docs/RING.md).
 
-        Only rings over the same device set may be swapped live; adding
-        a device needs a new connection first (`connect_device`).
+        Every device of the new ring must already be connected (adding
+        one needs `connect_device` first).  Devices *leaving* the ring
+        are closed and dropped here — their clients would otherwise leak
+        sockets, clock estimators, and metric collectors for layouts
+        that no longer exist — and their queued anti-entropy repairs are
+        discarded (the new ring re-homed those partitions).
         """
         missing = set(ring.device_ids()) - set(self.clients)
         if missing:
             raise ValueError(
                 f"cannot swap: not connected to devices {sorted(missing)}"
             )
+        removed = set(self.clients) - set(ring.device_ids())
         self.ring = ring
         self.placement.ring = ring
+        self.epoch = max(self.epoch, ring.epoch)
+        self.stats.ring_swaps += 1
+        if not removed:
+            return
+        self.placement.repairs = [
+            task for task in self.placement.repairs
+            if task.device not in removed
+        ]
+        for dev_id in sorted(removed):
+            client = self.clients.pop(dev_id)
+            self.endpoints.pop(dev_id, None)
+            client.on_epoch = None
+            try:
+                task = asyncio.ensure_future(client.close())
+            except RuntimeError:
+                continue  # no running loop: nothing to close cleanly
+            self._retired.add(task)
+            task.add_done_callback(self._retired.discard)
 
     async def connect_device(
         self, dev_id: int, host: str, port: int, **kwargs
@@ -253,27 +302,116 @@ class RingRouter:
             **kwargs,
         )
         await client.connect()
+        client.on_epoch = self._note_epoch
         self.clients[dev_id] = client
         self.endpoints[dev_id] = (host, port)
+
+    # -- epoch subscription (docs/CLUSTER.md) ---------------------------------
+
+    def _note_epoch(self, epoch: int, client: NetCacheClient) -> None:
+        """A server frame carried a higher ring epoch than ours: some
+        layout we don't know is in force.  Schedule one refresh (the
+        callback fires from recv loops — never block them)."""
+        if epoch <= self.epoch:
+            return
+        if self._refresh_task is None or self._refresh_task.done():
+            self._refresh_task = asyncio.ensure_future(self.refresh_ring())
+
+    async def refresh_ring(self) -> bool:
+        """Fetch the ring from every reachable device and adopt the
+        highest-epoch layout found; returns whether a swap happened."""
+        self.stats.epoch_refreshes += 1
+        best_epoch, best_ring = self.epoch, None
+        for dev_id in sorted(self.clients):
+            client = self.clients.get(dev_id)
+            if client is None or not client.connected:
+                continue
+            try:
+                epoch, ring_dict = await client.fetch_ring()
+            except asyncio.CancelledError:
+                raise
+            except (NetError, ConnectionError):
+                continue
+            if ring_dict is not None and epoch > best_epoch:
+                best_epoch, best_ring = epoch, ring_dict
+        if best_ring is None:
+            return False
+        return await self.adopt_ring(Ring.from_dict(best_ring))
+
+    async def adopt_ring(self, ring: Ring) -> bool:
+        """Cut over to a strictly newer ring: connect joining devices
+        (addressed by their ring ``Device.address``), swap, and let
+        :meth:`swap_ring` close the departed ones."""
+        if ring.epoch <= self.epoch:
+            return False
+        for dev_id in ring.device_ids():
+            if dev_id in self.clients:
+                continue
+            device = ring.devices[dev_id]
+            if not device.address:
+                raise PlacementError(
+                    f"ring epoch {ring.epoch} adds device {dev_id} "
+                    f"with no address to connect to"
+                )
+            host, _, port = device.address.rpartition(":")
+            await self.connect_device(dev_id, host, int(port))
+        self.swap_ring(ring)
+        return True
+
+    def start_epoch_watch(self, period: float = 0.25) -> None:
+        """Poll for newer rings every ``period`` seconds — the belt to
+        the reply-stamp suspenders, for routers that go long stretches
+        without issuing a request."""
+        if self._epoch_watch_task is None:
+            self._epoch_watch_task = asyncio.ensure_future(
+                self._epoch_watch(period)
+            )
+
+    async def _epoch_watch(self, period: float) -> None:
+        while True:
+            await asyncio.sleep(period)
+            try:
+                await self.refresh_ring()
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                logger.warning(
+                    "epoch watch of site %s: refresh failed: %r",
+                    self.client_id, exc,
+                )
+
+    async def stop_epoch_watch(self) -> None:
+        task = self._epoch_watch_task
+        if task is None:
+            return
+        self._epoch_watch_task = None
+        task.cancel()
+        try:
+            await task
+        except (asyncio.CancelledError, Exception):
+            pass
 
     # -- clocks ---------------------------------------------------------------
 
     def now(self) -> float:
-        """The reference device's timescale — the merged trace's clock."""
-        return self.clients[self.reference].clock.now()
+        """The reference device's timescale — the merged trace's clock.
+        Survives the reference device's departure: the estimator's last
+        offset keeps mapping the shared local clock onto its timescale."""
+        return self.reference_clock.now()
 
     def offset_to_reference(self, dev_id: int) -> float:
         """Maps a stamp on ``dev_id``'s timescale onto the reference's."""
-        ref = self.clients[self.reference].clock.estimator.offset
+        ref = self.reference_clock.estimator.offset
         dev = self.clients[dev_id].clock.estimator.offset
         return ref - dev
 
     @property
     def epsilon_bound(self) -> float:
         """This site's contribution to the merged trace's epsilon."""
-        ref_err = self.clients[self.reference].clock.estimator.error_bound
+        ref_err = self.reference_clock.estimator.error_bound
         worst = max(
-            client.clock.estimator.error_bound for client in self.clients.values()
+            (client.clock.estimator.error_bound for client in self.clients.values()),
+            default=ref_err,
         )
         return 2.0 * (ref_err + worst)
 
@@ -287,9 +425,8 @@ class RingRouter:
         start = self._spread_cursor % len(devices)
         return devices[start:] + devices[:start]
 
-    async def read(self, obj: str) -> Any:
-        self.stats.reads += 1
-        started = self.now()
+    async def _read_attempt(self, obj: str) -> Tuple[int, Any, int]:
+        """One fallback walk over the current ring's replica order."""
         order = self._read_order(obj)
         # Reuse the placement engine's fallback walk, over this read's
         # device order (primary-first or rotated).
@@ -310,6 +447,21 @@ class RingRouter:
             raise PlacementError(
                 f"read of {obj!r} failed on every replica: " + "; ".join(errors)
             )
+        return outcome
+
+    async def read(self, obj: str) -> Any:
+        self.stats.reads += 1
+        started = self.now()
+        try:
+            outcome = await self._read_attempt(obj)
+        except PlacementError:
+            # Every replica of the layout we hold failed — the layout
+            # itself may be the stale thing.  Refresh, and iff a newer
+            # ring was adopted, retry once against it.
+            if not await self.refresh_ring():
+                raise
+            self.stats.stale_retries += 1
+            outcome = await self._read_attempt(obj)
         dev, value, fallbacks = outcome
         if fallbacks:
             self.placement.stats.fallback_reads += 1
@@ -333,7 +485,15 @@ class RingRouter:
         on the reference timescale."""
         self.stats.writes += 1
         started = self.now()
-        outcome = await self.placement.write(obj, value)
+        try:
+            outcome = await self.placement.write(obj, value)
+        except PlacementError:
+            # Writing through a dead primary: refresh-then-retry rather
+            # than failing through a layout the cluster already left.
+            if not await self.refresh_ring():
+                raise
+            self.stats.stale_retries += 1
+            outcome = await self.placement.write(obj, value)
         # Rebase with the device that actually served as primary.  The
         # ring may have been swapped while the write was in flight
         # (concurrent rebalance); re-asking it now could name a device

@@ -58,10 +58,21 @@ from repro.net.faults import FaultInjector
 from repro.net.framing import (
     BUSY,
     BYE,
+    CLUSTER_KINDS,
+    CLUSTER_STATE,
+    CLUSTER_VIEW,
     ERROR,
+    HANDOFF,
     HELLO,
     HELLO_ACK,
+    PING,
+    PING_ACK,
+    PING_REQ,
+    PROMOTE,
+    PROMOTE_ACK,
     PROTOCOL_VERSION,
+    RING_FETCH,
+    RING_STATE,
     SYNC,
     SYNC_ACK,
     FrameConnection,
@@ -184,6 +195,14 @@ class NetObjectServer:
         self.recovered_old: Set[str] = set()
         self.revalidations = 0
         self.context = 0.0
+        # Cluster plumbing (repro.cluster; docs/CLUSTER.md).  ``epoch``
+        # is the monotone ring-layout version this server acknowledges;
+        # 0 means "no cluster" and keeps every reply epoch-free, so a
+        # standalone server's wire traffic is byte-identical to before.
+        self.epoch = 0
+        self.ring: Optional[Dict[str, Any]] = None  #: serialized Ring of ``epoch``
+        self.agent: Optional[Any] = None  #: attached cluster SwimAgent
+        self.promotions = 0
         self._lock = asyncio.Lock()
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: Set[FrameConnection] = set()
@@ -244,6 +263,10 @@ class NetObjectServer:
             self.clock()  # pin the timescale's zero to server start
             if isinstance(self.clock, RebasedClock):
                 self.clock.offset += recovered.resume_time
+            # Resume the last acknowledged ring epoch: the server must
+            # never answer with an epoch older than one it persisted, or
+            # routers would trust a layout the cluster already left.
+            self.epoch = max(self.epoch, recovered.ring_epoch)
         else:
             self.clock()  # pin the timescale's zero to server start
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
@@ -342,12 +365,12 @@ class NetObjectServer:
                 await conn.send({"kind": ERROR, "error": "expected hello"})
                 return
             client_id = int(hello.get("client_id", -1))
-            await conn.send({
+            await conn.send(self._stamped({
                 "kind": HELLO_ACK,
                 "protocol": PROTOCOL_VERSION,
                 "server_time": self.clock(),
                 "propagation": self.propagation,
-            })
+            }))
             if hello.get("subscribe"):
                 self._subscribers[conn] = client_id
             tasks: Set[asyncio.Task] = set()
@@ -361,6 +384,18 @@ class NetObjectServer:
                         # genuine transport; task scheduling would add
                         # noise to (t2 - t1).
                         await self._on_sync(conn, frame)
+                        continue
+                    if frame.get("kind") in CLUSTER_KINDS:
+                        # Control plane: like SYNC, outside the
+                        # exactly-once data plane (no dedup, no busy
+                        # shedding — a shed probe would read as a dead
+                        # server), but as a task so a slow indirect
+                        # probe or handoff never blocks this loop.
+                        task = asyncio.ensure_future(
+                            self._on_cluster(conn, frame)
+                        )
+                        tasks.add(task)
+                        task.add_done_callback(tasks.discard)
                         continue
                     # One task per frame: pipelined requests on a single
                     # connection overlap; replies carry request ids, so
@@ -399,6 +434,132 @@ class NetObjectServer:
             "t0": frame.get("t0"), "t1": t1, "t2": self.clock(),
         })
 
+    # -- the cluster control plane (repro.cluster; docs/CLUSTER.md) -----------
+
+    def _stamped(self, reply: Dict[str, Any]) -> Dict[str, Any]:
+        """Stamp a reply with this server's ring epoch — the staleness
+        signal routers act on.  Epoch 0 (standalone server) stamps
+        nothing, keeping the legacy wire format byte-identical."""
+        if self.epoch <= 0 or "epoch" in reply:
+            return reply
+        return {**reply, "epoch": self.epoch}
+
+    def set_ring(self, ring_dict: Dict[str, Any], *, persist: bool = True) -> bool:
+        """Adopt a serialized ring iff its epoch is not behind ours;
+        persists the acknowledged epoch into ``meta.json`` so a restart
+        never resumes trusting a layout the cluster moved past."""
+        epoch = int(ring_dict.get("epoch", 0))
+        if epoch < self.epoch or (epoch == self.epoch and self.ring is not None):
+            return False
+        self.ring = dict(ring_dict)
+        self.epoch = epoch
+        if persist and self.durable is not None:
+            self.durable.save_epoch(epoch)
+        return True
+
+    async def promote(self, bound: float) -> Dict[str, Any]:
+        """Become write authority for partitions a dead primary held.
+
+        The paper's single-authority argument, in the exact shape of
+        store recovery (:mod:`repro.store.recovery`) with the *detection
+        bound* playing Δ: the new primary cannot know what the dead one
+        acknowledged during the last ``bound`` seconds, so
+
+        1. ``Context := max(known, t_promote − bound)`` — it never
+           claims a context older than its blind window allows;
+        2. every version whose checking time predates ``t_promote −
+           bound`` is marked **old** and re-proved on first touch by
+           :meth:`_current` (each re-proof counts a revalidation).
+
+        Versions the dying primary acknowledged but never replicated
+        are surfaced by its WAL at merge time (``history_from_wal``),
+        which is what the failover checker test verifies.
+        """
+        if bound < 0:
+            raise ValueError(f"bound must be non-negative, got {bound}")
+        async with self._lock:
+            t_promote = self.clock()
+            floor = t_promote - bound
+            self.context = max(self.context, floor)
+            marked = {
+                obj for obj, version in self.store.items()
+                if version.omega < floor
+            }
+            self.recovered_old |= marked
+            self.promotions += 1
+            return {
+                "t": t_promote, "context": self.context, "old": len(marked),
+            }
+
+    async def _on_cluster(
+        self, conn: FrameConnection, frame: Dict[str, Any]
+    ) -> None:
+        kind = str(frame.get("kind"))
+        self.requests_by_kind[kind] = self.requests_by_kind.get(kind, 0) + 1
+        req = frame.get("req")
+        if kind == RING_FETCH:
+            await conn.send({
+                "kind": RING_STATE, "req": req,
+                "epoch": self.epoch, "ring": self.ring,
+            })
+            return
+        if kind == CLUSTER_STATE:
+            view = None
+            if self.agent is not None:
+                view = self.agent.view.as_dict()
+            await conn.send({
+                "kind": CLUSTER_VIEW, "req": req,
+                "epoch": self.epoch, "view": view,
+            })
+            return
+        if kind == PROMOTE:
+            ring = frame.get("ring")
+            if isinstance(ring, dict):
+                self.set_ring(ring)
+            outcome = await self.promote(float(frame.get("bound", 0.0)))
+            if self.agent is not None:
+                self.agent.on_promoted(frame, outcome)
+            await conn.send({
+                "kind": PROMOTE_ACK, "req": req,
+                "epoch": self.epoch, **outcome,
+            })
+            return
+        if self.agent is not None and kind in (PING, PING_REQ, HANDOFF):
+            await self.agent.on_frame(conn, frame)
+            return
+        if kind == PING:
+            # No agent attached: still answer — a bare server is alive.
+            await conn.send(self._stamped({"kind": PING_ACK, "req": req}))
+            return
+        await conn.send({
+            "kind": ERROR, "req": req,
+            "error": f"no cluster agent attached for {kind!r}",
+        })
+
+    async def abort(self) -> None:
+        """Crash simulation: vanish mid-flight — no BYE, no clean
+        snapshot, no drain.  Buffered WAL records are flushed first
+        (log-before-ack means every *acknowledged* write already had its
+        append; the flush models it having reached the disk, which a
+        real SIGKILL — covered by the CI shell smoke — also guarantees
+        under ``fsync=always``).  What remains is exactly what a crashed
+        process leaves: a WAL suffix and a stale snapshot.
+        """
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._connections):
+            await conn.close()
+        self._connections.clear()
+        self._subscribers.clear()
+        if self.durable is not None:
+            try:
+                self.durable.flush()
+            finally:
+                self.durable.close(sync=False)
+
     async def _dispatch(
         self, conn: FrameConnection, client_id: int, frame: Dict[str, Any]
     ) -> None:
@@ -413,7 +574,7 @@ class NetObjectServer:
                 # A retransmission of an answered request: replay the
                 # original reply (same alpha), execute nothing.
                 self.dedup_replays += 1
-                await conn.send(cached)
+                await conn.send(self._stamped(cached))
                 return
             original = self._executing.get(key)
             if original is not None:
@@ -424,7 +585,7 @@ class NetObjectServer:
                     reply = await asyncio.shield(original)
                 except (asyncio.CancelledError, Exception):
                     return  # original died unexecuted; a later retry re-runs
-                await conn.send(reply)
+                await conn.send(self._stamped(reply))
                 return
         if self.inflight_limit is not None and self._inflight >= self.inflight_limit:
             # Shed *unexecuted*: the client backs off and reissues under
@@ -450,7 +611,10 @@ class NetObjectServer:
                 original = self._executing.pop(key)
                 if not original.done():
                     original.set_result(reply)
-            await conn.send(reply)
+            # Stamp at send time, not in the cache: the epoch may have
+            # advanced between execution and a much later replay, and the
+            # retransmitting router deserves the *current* epoch.
+            await conn.send(self._stamped(reply))
             for version in installed:
                 if self.recorder is not None:
                     self.recorder.record_write(

@@ -27,6 +27,7 @@ from repro.obs.expo import (
 from repro.obs.instruments import (
     DEFAULT_TRACE_CAPACITY,
     DEFAULT_WINDOW,
+    ClusterInstruments,
     EventTrace,
     OnTimeRatio,
     OnTimeVerdict,
@@ -52,6 +53,7 @@ from repro.obs.metrics import (
 
 __all__ = [
     "REGISTRY",
+    "ClusterInstruments",
     "Counter",
     "DEFAULT_TRACE_CAPACITY",
     "DEFAULT_WINDOW",

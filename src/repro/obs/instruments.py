@@ -550,6 +550,121 @@ class PipelineInstruments:
         self._queue_depth.set_function(fn)
 
 
+class ClusterInstruments:
+    """Failure-detector and failover metrics for one
+    :class:`~repro.cluster.swim.SwimAgent`.
+
+    Families carry a ``member`` label so every member of a co-hosted
+    cluster (the soak harness, tests) can share one registry:
+
+    * ``repro_cluster_probe_rtt_seconds`` — round-trip of one probe
+      attempt, labeled by ``result`` (``ack`` direct, ``indirect``
+      proxy-confirmed, ``failed``);
+    * ``repro_cluster_transitions_total`` — member state transitions by
+      target ``state`` (``suspect``/``dead`` are the detector firing);
+    * ``repro_cluster_refutations_total`` — incarnation bumps answering
+      a false suspicion;
+    * ``repro_cluster_ring_epoch`` — the ring epoch this member serves
+      at, pulled at scrape time (:meth:`bind_epoch`) — the gauge a
+      converged cluster agrees on;
+    * ``repro_cluster_gossip_bytes`` — agent-link octets by
+      ``direction``, pulled at scrape time (:meth:`bind_gossip`);
+    * ``repro_cluster_failovers_total`` plus the two latency gauges —
+      ``time_to_detect`` (crash → dead transition, set by harnesses
+      that know the crash instant) and ``time_to_recover`` (crash →
+      new epoch serving, the bound ``bench_failover`` checks against
+      ``3·probe_period + suspect_timeout``).
+    """
+
+    def __init__(self, registry: Registry, member: Any = 0) -> None:
+        self.registry = registry
+        label = {"member": str(member)}
+        probe_family = registry.histogram(
+            "repro_cluster_probe_rtt_seconds",
+            "Round-trip of one probe attempt (direct or via proxies)",
+            labels=("member", "result"),
+            buckets=exponential_buckets(start=0.0001, count=16),
+        )
+        self._probe_rtt = {
+            result: probe_family.labels(member=str(member), result=result)
+            for result in ("ack", "indirect", "failed")
+        }
+        transitions = registry.counter(
+            "repro_cluster_transitions_total",
+            "Member state transitions observed, by resulting state",
+            labels=("member", "state"),
+        )
+        self._transitions = {
+            state: transitions.labels(member=str(member), state=state)
+            for state in ("alive", "suspect", "dead", "left")
+        }
+        self.refutations = registry.counter(
+            "repro_cluster_refutations_total",
+            "Incarnation bumps refuting a false suspicion of this member",
+            labels=("member",),
+        ).labels(**label)
+        self._epoch = registry.gauge(
+            "repro_cluster_ring_epoch",
+            "Ring epoch this member currently serves at",
+            labels=("member",),
+        ).labels(**label)
+        # Gauges bound to pull functions: the monotone totals live in
+        # the agent links' FrameConnections; scraping reads them.
+        gossip = registry.gauge(
+            "repro_cluster_gossip_bytes",
+            "Octets over this member's agent links, by direction",
+            labels=("member", "direction"),
+        )
+        self._gossip_sent = gossip.labels(member=str(member), direction="sent")
+        self._gossip_received = gossip.labels(
+            member=str(member), direction="received"
+        )
+        self.failovers = registry.counter(
+            "repro_cluster_failovers_total",
+            "Failover/join plans executed by this member as coordinator",
+            labels=("member",),
+        ).labels(**label)
+        self._time_to_detect = registry.gauge(
+            "repro_cluster_time_to_detect_seconds",
+            "Crash-to-dead-transition latency of the last detected death",
+            labels=("member",),
+        ).labels(**label)
+        self._time_to_recover = registry.gauge(
+            "repro_cluster_time_to_recover_seconds",
+            "Crash-to-new-epoch latency of the last completed failover",
+            labels=("member",),
+        ).labels(**label)
+
+    def on_probe(self, rtt: float, result: str) -> None:
+        self._probe_rtt.get(result, self._probe_rtt["failed"]).observe(
+            max(rtt, 0.0)
+        )
+
+    def on_transition(self, state: str) -> None:
+        counter = self._transitions.get(state)
+        if counter is not None:
+            counter.inc()
+
+    def on_refutation(self) -> None:
+        self.refutations.inc()
+
+    def on_failover(self, seconds: float) -> None:
+        self.failovers.inc()
+
+    def bind_epoch(self, fn) -> None:
+        self._epoch.set_function(fn)
+
+    def bind_gossip(self, sent_fn, received_fn) -> None:
+        self._gossip_sent.set_function(sent_fn)
+        self._gossip_received.set_function(received_fn)
+
+    def set_time_to_detect(self, seconds: float) -> None:
+        self._time_to_detect.set(max(seconds, 0.0))
+
+    def set_time_to_recover(self, seconds: float) -> None:
+        self._time_to_recover.set(max(seconds, 0.0))
+
+
 class TimedInstruments:
     """The bundle a live stack wires into its read/write completions.
 

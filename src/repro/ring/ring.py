@@ -81,7 +81,15 @@ class Device:
 
 
 class Ring:
-    """An immutable partition -> devices map, addressed by object name."""
+    """An immutable partition -> devices map, addressed by object name.
+
+    ``epoch`` is the ring's **monotone layout version**: every rebalance
+    or failover produces a ring with a strictly larger epoch, servers
+    stamp their replies with the epoch they serve, and routers treat any
+    higher epoch they observe as "my layout is stale — refresh before
+    routing more writes" (docs/CLUSTER.md).  Epoch 0 is the pre-cluster
+    legacy value; old serialized rings load as epoch 0.
+    """
 
     def __init__(
         self,
@@ -89,9 +97,13 @@ class Ring:
         replicas: int,
         devices: Dict[int, Device],
         assignment: Sequence[Sequence[int]],
+        epoch: int = 0,
     ) -> None:
+        if epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {epoch}")
         self.part_power = part_power
         self.replicas = replicas
+        self.epoch = epoch
         self.devices = dict(devices)
         self.assignment: Tuple[Tuple[int, ...], ...] = tuple(
             tuple(slots) for slots in assignment
@@ -140,6 +152,7 @@ class Ring:
             "format": FORMAT_VERSION,
             "part_power": self.part_power,
             "replicas": self.replicas,
+            "epoch": self.epoch,
             "devices": [self.devices[d].as_dict() for d in sorted(self.devices)],
             "assignment": [list(slots) for slots in self.assignment],
         }
@@ -152,6 +165,7 @@ class Ring:
         return cls(
             int(data["part_power"]), int(data["replicas"]),
             devices, data["assignment"],  # type: ignore[arg-type]
+            epoch=int(data.get("epoch", 0)),  # pre-epoch files load as 0
         )
 
     def save(self, path: Union[str, pathlib.Path]) -> None:
@@ -175,6 +189,10 @@ class RingBuilder:
     part_power: int
     replicas: int = 1
     devices: Dict[int, Device] = field(default_factory=dict)
+    #: Epoch of the last ring this builder produced; each
+    #: :meth:`rebalance` hands out ``epoch + 1`` so layout versions stay
+    #: monotone across the builder's whole life (and across save/load).
+    epoch: int = 0
     _assignment: Optional[List[List[Optional[int]]]] = None
 
     def __post_init__(self) -> None:
@@ -331,27 +349,52 @@ class RingBuilder:
                     if old[part][r] is not None and old[part][r] != new[part][r]:
                         moved += 1
         self._assignment = new
+        self.epoch += 1
         ring = Ring(
             self.part_power, replicas,
             {d.id: Device(d.id, d.weight, d.zone, d.address) for d in active},
             [[dev_id for dev_id in slots] for slots in new],
+            epoch=self.epoch,
         )
         return ring, moved
 
     # -- serialization -------------------------------------------------------
+
+    @classmethod
+    def from_ring(cls, ring: Ring) -> "RingBuilder":
+        """A builder whose state *is* the given ring — the stateless path
+        a failover coordinator uses: reconstruct, mutate, rebalance, and
+        the move list is minimal relative to the ring actually in force
+        (no separately maintained builder file to drift out of sync).
+        Partitions whose slot count fell below ``replicas`` (a degraded
+        failover ring) load as empty slots the next rebalance refills."""
+        builder = cls(ring.part_power, ring.replicas, epoch=ring.epoch)
+        for device in ring.devices.values():
+            builder.devices[device.id] = Device(
+                device.id, device.weight, device.zone, device.address
+            )
+        builder._assignment = [
+            list(slots) + [None] * (ring.replicas - len(slots))
+            for slots in ring.assignment
+        ]
+        return builder
 
     def as_dict(self) -> Dict[str, object]:
         return {
             "format": FORMAT_VERSION,
             "part_power": self.part_power,
             "replicas": self.replicas,
+            "epoch": self.epoch,
             "devices": [self.devices[d].as_dict() for d in sorted(self.devices)],
             "assignment": self._assignment,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "RingBuilder":
-        builder = cls(int(data["part_power"]), int(data["replicas"]))
+        builder = cls(
+            int(data["part_power"]), int(data["replicas"]),
+            epoch=int(data.get("epoch", 0)),
+        )
         for dev in data.get("devices", []):  # type: ignore[union-attr]
             device = Device.from_dict(dev)
             builder.devices[device.id] = device

@@ -136,6 +136,7 @@ class RecoveredState:
     quarantined_bytes: int = 0
     clean_start: bool = False  #: previous shutdown was graceful
     recovery_seconds: float = 0.0
+    ring_epoch: int = 0  #: last ring epoch this device acknowledged
 
     @property
     def empty(self) -> bool:
@@ -253,6 +254,7 @@ class DurableStore:
         self._appends_since_snapshot = 0
         self._last_snapshot_wall: Optional[float] = None
         self._origin_unix: Optional[float] = None
+        self._meta: Dict[str, Any] = {}
         self.instruments = None
         if registry is not None:
             from repro.obs.instruments import StoreInstruments
@@ -275,6 +277,7 @@ class DurableStore:
             meta = {"version": META_VERSION, "origin_unix": now_wall}
             atomic_write_json(os.path.join(self.root, META_FILE), meta)
         self._origin_unix = float(meta["origin_unix"])
+        self._meta = dict(meta)
 
         snapshot_quarantined = None
         state = load_state(self.root)
@@ -316,6 +319,7 @@ class DurableStore:
             wal_quarantined=wal_sidecar,
             quarantined_bytes=result.tail_bytes,
             clean_start=clean_start,
+            ring_epoch=int(meta.get("ring_epoch", 0)),
         )
         if not recovered.empty or not clean_start:
             # Persist the recovery event itself: the restored context and
@@ -401,6 +405,25 @@ class DurableStore:
         """Force buffered records to stable storage (drain path)."""
         if self.wal is not None:
             self.wal.flush(sync=True)
+
+    # -- cluster epoch -------------------------------------------------------
+
+    def save_epoch(self, epoch: int) -> bool:
+        """Durably record the ring epoch this device has acknowledged.
+
+        Written into ``meta.json`` (atomic rename), monotone: an older
+        epoch is ignored.  On restart the server resumes from
+        ``RecoveredState.ring_epoch``, so it never re-serves a layout
+        the cluster already moved past.  Returns whether it persisted.
+        """
+        if epoch <= int(self._meta.get("ring_epoch", 0)):
+            return False
+        self._meta["ring_epoch"] = int(epoch)
+        self._meta.setdefault("version", META_VERSION)
+        if self._origin_unix is not None:
+            self._meta.setdefault("origin_unix", self._origin_unix)
+        atomic_write_json(os.path.join(self.root, META_FILE), self._meta)
+        return True
 
     # -- snapshots -----------------------------------------------------------
 
