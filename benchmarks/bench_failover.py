@@ -117,6 +117,27 @@ COLUMNS = [
 ]
 
 
+def _emit_bench(rows, smoke):
+    """BENCH_failover.json: one flat metric set, keyed by cadence."""
+    from _report import bench_json
+
+    metrics = {}
+    for row in rows:
+        cell = f"p{row['probe_s']:g}_s{row['suspect_s']:g}".replace(".", "")
+        metrics[f"{cell}_detect_s"] = row["detect_s"]
+        metrics[f"{cell}_recover_s"] = row["recover_s"]
+        metrics[f"{cell}_bound_s"] = row["bound_s"]
+        metrics[f"{cell}_promotions"] = row["promotions"]
+    bench_json(
+        "failover",
+        {"servers": SERVERS, "replicas": REPLICAS, "clients": CLIENTS,
+         "delta": DELTA, "smoke": smoke,
+         "cells": [list(c) for c in (SMOKE_SWEEP if smoke else FULL_SWEEP)]},
+        metrics,
+        notes="time-to-detect / time-to-recover vs SWIM probing cadence",
+    )
+
+
 def test_failover_latency(benchmark):
     from _report import report
 
@@ -129,6 +150,7 @@ def test_failover_latency(benchmark):
         "cadence (TCP, kill-primary mid-soak)",
         rows, columns=COLUMNS, notes=NOTES,
     )
+    _emit_bench(rows, smoke=False)
 
 
 def main(argv=None):
@@ -143,6 +165,7 @@ def main(argv=None):
 
     cells = SMOKE_SWEEP if args.smoke else FULL_SWEEP
     rows, failures = run_sweep(cells)
+    _emit_bench(rows, smoke=args.smoke)
     for row in rows:
         print(row)
     if failures:

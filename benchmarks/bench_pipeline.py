@@ -125,6 +125,26 @@ def _check(rows):
     return speedup
 
 
+def _emit_bench(rows, n_writes, trials, smoke):
+    """BENCH_pipeline.json: the machine-readable twin of the table."""
+    from _report import bench_json
+
+    metrics = {}
+    for row in rows:
+        arm = row["arm"].replace("+", "_")
+        metrics[f"{arm}_writes_per_s"] = row["writes/s"]
+        metrics[f"{arm}_speedup"] = row["speedup"]
+        metrics[f"{arm}_tsc_ok"] = row["tsc"] == "ok"
+    metrics["speedup_floor"] = SPEEDUP_FLOOR
+    bench_json(
+        "pipeline",
+        {"n_writes": n_writes, "trials": trials, "smoke": smoke,
+         "server_latency_s": SERVER_LATENCY, "wave": WAVE},
+        metrics,
+        notes="write throughput vs pipelining depth and batching (TCP)",
+    )
+
+
 def test_pipeline_throughput(benchmark):
     from _report import report
 
@@ -138,6 +158,7 @@ def test_pipeline_throughput(benchmark):
             "trace re-checked with TSC"
         ),
     )
+    _emit_bench(rows, n_writes=400, trials=3, smoke=False)
     violations = [r["arm"] for r in rows if r["tsc"] != "ok"]
     assert not violations, rows
     speedup = next(r["speedup"] for r in rows if r["arm"] == "depth8+batch8")
@@ -171,6 +192,7 @@ def main(argv=None):
                 f"{SPEEDUP_FLOOR:.1f}x depth1; traces TSC-checked"
             ),
         )
+    _emit_bench(rows, n_writes, trials, smoke=args.smoke)
     for row in rows:
         print(
             f"{row['arm']:>13}: {row['seconds']:.4f}s "

@@ -1,0 +1,225 @@
+"""Workload mixes: what each arriving operation does.
+
+A :class:`WorkloadMix` turns one arrival into one operation: a kind
+(read or write, by ``write_fraction``), an object (drawn from a key
+popularity :class:`KeySampler` over ``n`` objects), and optionally a
+per-operation **Δ deadline class** — the scenario's way of saying "5%
+of reads are checkout-critical and must be at most 100 ms stale, the
+rest tolerate 2 s" (the per-request currency knob the paper's timed
+model prices).
+
+Key samplers:
+
+* :class:`UniformKeys` — every object equally likely;
+* :class:`ZipfianKeys` — rank ``r`` drawn with weight ``1/r**theta``
+  (theta ~ 0.99 is the YCSB-style skew), via a precomputed CDF and
+  bisect, so sampling is O(log n) and exactly reproducible;
+* :class:`HotsetKeys` — a two-tier approximation: ``hot_weight`` of
+  traffic lands uniformly on the first ``hot_fraction`` of keys.
+
+Everything is driven by the caller's ``random.Random`` so a worker's
+whole operation stream is a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence
+
+
+class WorkloadError(ValueError):
+    """A malformed workload specification."""
+
+
+def key_name(index: int) -> str:
+    return f"k{index:04d}"
+
+
+class KeySampler:
+    kind = "abstract"
+
+    def __init__(self, n: int) -> None:
+        n = int(n)
+        if n < 1:
+            raise WorkloadError(f"need at least one object, got n={n}")
+        self.n = n
+
+    def sample(self, rng: random.Random) -> str:
+        raise NotImplementedError
+
+    def keys(self) -> List[str]:
+        return [key_name(i) for i in range(self.n)]
+
+    def describe(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "n": self.n}
+
+
+class UniformKeys(KeySampler):
+    kind = "uniform"
+
+    def sample(self, rng: random.Random) -> str:
+        return key_name(rng.randrange(self.n))
+
+
+class ZipfianKeys(KeySampler):
+    kind = "zipfian"
+
+    def __init__(self, n: int, theta: float = 0.99) -> None:
+        super().__init__(n)
+        if theta <= 0:
+            raise WorkloadError(f"theta must be positive, got {theta}")
+        self.theta = float(theta)
+        cdf: List[float] = []
+        total = 0.0
+        for rank in range(1, self.n + 1):
+            total += 1.0 / rank ** self.theta
+            cdf.append(total)
+        self._cdf = cdf
+        self._total = total
+
+    def sample(self, rng: random.Random) -> str:
+        return key_name(bisect_left(self._cdf, rng.random() * self._total))
+
+    def describe(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "n": self.n, "theta": self.theta}
+
+
+class HotsetKeys(KeySampler):
+    kind = "hotset"
+
+    def __init__(
+        self, n: int, hot_fraction: float = 0.1, hot_weight: float = 0.9
+    ) -> None:
+        super().__init__(n)
+        if not 0.0 < hot_fraction < 1.0:
+            raise WorkloadError(f"hot_fraction must be in (0,1), got {hot_fraction}")
+        if not 0.0 < hot_weight < 1.0:
+            raise WorkloadError(f"hot_weight must be in (0,1), got {hot_weight}")
+        self.hot_fraction = float(hot_fraction)
+        self.hot_weight = float(hot_weight)
+        self._hot = max(1, int(round(self.n * self.hot_fraction)))
+
+    def sample(self, rng: random.Random) -> str:
+        if rng.random() < self.hot_weight:
+            return key_name(rng.randrange(self._hot))
+        if self._hot >= self.n:
+            return key_name(rng.randrange(self.n))
+        return key_name(rng.randrange(self._hot, self.n))
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "n": self.n,
+            "hot_fraction": self.hot_fraction,
+            "hot_weight": self.hot_weight,
+        }
+
+
+_SAMPLERS = {
+    "uniform": lambda spec: UniformKeys(spec.get("n", 16)),
+    "zipfian": lambda spec: ZipfianKeys(
+        spec.get("n", 16), spec.get("theta", 0.99)
+    ),
+    "hotset": lambda spec: HotsetKeys(
+        spec.get("n", 16),
+        spec.get("hot_fraction", 0.1),
+        spec.get("hot_weight", 0.9),
+    ),
+}
+
+
+class DeadlineClass(NamedTuple):
+    """One currency tier: reads in this class demand freshness ``delta``."""
+
+    name: str
+    delta: float
+    weight: float
+
+
+class PlannedOp(NamedTuple):
+    kind: str  # "read" | "write"
+    obj: str
+    deadline: Optional[str]  # deadline class name, None = scenario default
+
+
+class WorkloadMix:
+    """Sample one operation per arrival, deterministically per rng."""
+
+    def __init__(
+        self,
+        write_fraction: float,
+        sampler: KeySampler,
+        deadlines: Sequence[DeadlineClass] = (),
+    ) -> None:
+        if not 0.0 <= write_fraction <= 1.0:
+            raise WorkloadError(
+                f"write_fraction must be in [0,1], got {write_fraction}"
+            )
+        self.write_fraction = float(write_fraction)
+        self.sampler = sampler
+        self.deadlines = tuple(deadlines)
+        if self.deadlines:
+            names = [d.name for d in self.deadlines]
+            if len(set(names)) != len(names):
+                raise WorkloadError(f"duplicate deadline class names: {names}")
+            total = sum(d.weight for d in self.deadlines)
+            if total <= 0:
+                raise WorkloadError("deadline class weights must sum > 0")
+            self._deadline_cdf: List[float] = []
+            running = 0.0
+            for d in self.deadlines:
+                running += d.weight / total
+                self._deadline_cdf.append(running)
+
+    def next_op(self, rng: random.Random) -> PlannedOp:
+        kind = "write" if rng.random() < self.write_fraction else "read"
+        obj = self.sampler.sample(rng)
+        deadline = None
+        if self.deadlines and kind == "read":
+            at = bisect_left(self._deadline_cdf, rng.random())
+            at = min(at, len(self.deadlines) - 1)
+            deadline = self.deadlines[at].name
+        return PlannedOp(kind, obj, deadline)
+
+    def describe(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "write_fraction": self.write_fraction,
+            "keys": self.sampler.describe(),
+        }
+        if self.deadlines:
+            out["deadlines"] = [
+                {"name": d.name, "delta": d.delta, "weight": d.weight}
+                for d in self.deadlines
+            ]
+        return out
+
+
+def make_workload(spec: Dict[str, Any]) -> WorkloadMix:
+    """Build a workload mix from its JSON spec (scenario files)."""
+    if not isinstance(spec, dict):
+        raise WorkloadError(f"workload spec must be a dict, got {spec!r}")
+    keys_spec = spec.get("keys", {"kind": "uniform", "n": 16})
+    factory = _SAMPLERS.get(keys_spec.get("kind"))
+    if factory is None:
+        raise WorkloadError(
+            f"unknown key sampler {keys_spec.get('kind')!r} "
+            f"(known: {sorted(_SAMPLERS)})"
+        )
+    deadlines = []
+    for item in spec.get("deadlines", ()):
+        try:
+            deadlines.append(
+                DeadlineClass(
+                    str(item["name"]),
+                    float(item["delta"]),
+                    float(item.get("weight", 1.0)),
+                )
+            )
+        except KeyError as missing:
+            raise WorkloadError(
+                f"deadline class is missing field {missing}"
+            ) from None
+    return WorkloadMix(
+        spec.get("write_fraction", 0.3), factory(keys_spec), deadlines
+    )

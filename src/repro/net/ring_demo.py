@@ -116,6 +116,7 @@ async def ring_cluster(
     delta: float = 0.4,
     objects: Sequence[str] = DEFAULT_OBJECTS,
     rounds: int = 30,
+    duration: Optional[float] = None,
     write_fraction: float = 0.3,
     think: float = 0.002,
     skew: float = 0.05,
@@ -136,6 +137,13 @@ async def ring_cluster(
     batch: int = 0,
 ) -> RingReport:
     """Run one ring-routed cluster end to end; see the module docstring.
+
+    ``duration`` (seconds) makes the main workload phase time-bounded:
+    each client keeps issuing operations until the deadline instead of
+    stopping after ``rounds`` — the knob ``repro ring soak --duration``
+    exposes for wall-clock-sized soaks.  ``rounds`` is ignored for the
+    main phase when ``duration`` is set (the shorter post-growth /
+    post-failover phases still derive from ``rounds``).
 
     ``store_root`` gives every server a :class:`repro.store.DurableStore`
     under ``<store_root>/dev<id>`` (WAL policy ``fsync``); the midway
@@ -267,9 +275,16 @@ async def ring_cluster(
         for obj in objects:
             await routers[0].write(obj, values.next_value(routers[0].client_id))
 
-        async def mixed(router: RingRouter, n: int, salt: int) -> None:
+        async def mixed(
+            router: RingRouter, n: int, salt: int,
+            until: Optional[float] = None,
+        ) -> None:
             rng = random.Random(seed + 31 * router.client_id + salt)
-            for _ in range(n):
+            issued = 0
+            while (time.monotonic() < until) if until is not None else (
+                issued < n
+            ):
+                issued += 1
                 await asyncio.sleep(rng.uniform(0.0, 2 * think))
                 obj = rng.choice(list(objects))
                 if rng.random() < write_fraction:
@@ -277,7 +292,10 @@ async def ring_cluster(
                 else:
                     await router.read(obj)
 
-        await asyncio.gather(*(mixed(r, rounds, 0) for r in routers))
+        until = (
+            time.monotonic() + duration if duration is not None else None
+        )
+        await asyncio.gather(*(mixed(r, rounds, 0, until) for r in routers))
 
         if kill_primary_midway:
             from repro.cluster import DEAD

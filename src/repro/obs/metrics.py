@@ -148,6 +148,30 @@ class _HistogramChild:
         self.sum += value
         self.count += 1
 
+    def merge(self, other: "_HistogramChild") -> None:
+        """Fold ``other``'s observations into this child, in place.
+
+        Both children must share the same bucket bounds — merging is
+        then *exact* at bucket granularity (elementwise count sums), so
+        a quantile of the merged child equals the quantile of one child
+        that had seen every observation.  The only error is the one all
+        bucketed quantiles carry: :meth:`quantile` returns the upper
+        bound of the bucket holding the q-th observation, so the
+        estimate is never below the true value and overshoots it by at
+        most one bucket's relative width (for
+        :func:`exponential_buckets` with growth ``factor``, true <=
+        estimate <= true * factor).  Merging adds no error on top.
+        """
+        if other.bounds != self.bounds:
+            raise MetricError(
+                f"cannot merge histograms with different bounds "
+                f"({len(self.bounds)} vs {len(other.bounds)} buckets)"
+            )
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.sum += other.sum
+        self.count += other.count
+
     def cumulative(self) -> List[Tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs, ending at +inf."""
         out: List[Tuple[float, int]] = []
@@ -467,6 +491,14 @@ def merge_snapshots(*snapshots: Dict[str, Any]) -> Dict[str, Any]:
                 if fam["kind"] == GAUGE:
                     existing["value"] = sample["value"]
                 elif fam["kind"] == HISTOGRAM:
+                    if (
+                        [b for b, _ in existing["buckets"]]
+                        != [b for b, _ in sample["buckets"]]
+                    ):
+                        raise MetricError(
+                            f"snapshot merge: histogram {name!r} has "
+                            "mismatched bucket bounds across snapshots"
+                        )
                     existing["sum"] += sample["sum"]
                     existing["count"] += sample["count"]
                     existing["buckets"] = [

@@ -1,0 +1,134 @@
+"""End-to-end scenario engine tests: real TCP servers, real subprocess
+workers, merged histories through the offline timed checkers.  These are
+the slowest tests in the suite (multi-second live runs), kept lean —
+the unit layer is ``test_load_units.py`` / ``test_load_worker.py``."""
+
+import pytest
+
+from repro.load import Scenario, run_find_max, run_scenario
+
+
+def _scenario(**over):
+    base = {
+        "name": "engine-test",
+        "delta": 0.4,
+        "workers": 2,
+        "seed": 7,
+        "target": {"kind": "ring", "servers": 3, "replicas": 2},
+        "workload": {"write_fraction": 0.3,
+                     "keys": {"kind": "zipfian", "n": 16}},
+        "phases": [
+            {"name": "warmup", "duration": 0.8, "measure": False,
+             "arrivals": {"kind": "fixed", "rate": 20}},
+            {"name": "steady", "duration": 2.5,
+             "arrivals": {"kind": "poisson", "rate": 40}},
+        ],
+        "slo": {"min_achieved_fraction": 0.8, "min_ontime_ratio": 0.8,
+                "max_error_fraction": 0.05},
+        "criterion": "tsc",
+    }
+    base.update(over)
+    return Scenario.from_dict(base)
+
+
+@pytest.mark.net(timeout=90)
+def test_two_worker_ring_scenario_passes_slo(tmp_path):
+    report = run_scenario(_scenario(), str(tmp_path), quiet=True)
+    assert report.ok, [c for c in report.slo_checks if not c.ok]
+    assert report.workers == 2
+    # Both worker processes contributed measured operations.
+    steady = next(p for p in report.phases if p.name == "steady")
+    assert steady.offered > 60  # ~100 intended across 2 workers
+    assert steady.completed == steady.offered - steady.errors
+    assert report.achieved_fraction >= 0.8
+    # The merged (cross-process) history is real and checker-clean.
+    assert report.history_ops > steady.offered
+    assert report.tsc_ok and report.sc_ok
+    # CO-free percentiles and the on-time ratio land in the metrics dict.
+    metrics = report.metrics()
+    for key in (
+        "p50_response_s", "p99_response_s", "p999_response_s",
+        "p99_service_s", "ontime_ratio", "offered_rate", "achieved_rate",
+        "tsc", "slo_ok",
+    ):
+        assert key in metrics, key
+    assert 0.0 <= metrics["ontime_ratio"] <= 1.0
+    # Worker artifacts were kept in out_dir for post-mortems.
+    assert list(tmp_path.glob("trace_*.json"))
+    assert list(tmp_path.glob("result_*.json"))
+
+
+@pytest.mark.net(timeout=90)
+def test_single_server_target_and_deadline_classes(tmp_path):
+    scenario = _scenario(
+        target={"kind": "server"},
+        workload={
+            "write_fraction": 0.3,
+            "keys": {"kind": "uniform", "n": 8},
+            "deadlines": [
+                {"name": "fresh", "delta": 0.2, "weight": 1},
+                {"name": "lax", "delta": 0.8, "weight": 3},
+            ],
+        },
+        phases=[
+            {"name": "steady", "duration": 2.0,
+             "arrivals": {"kind": "poisson", "rate": 30}},
+        ],
+    )
+    report = run_scenario(scenario, str(tmp_path), quiet=True)
+    assert report.ok, [c for c in report.slo_checks if not c.ok]
+    assert set(report.deadlines) == {"fresh", "lax"}
+    for summary in report.deadlines.values():
+        assert summary["reads_on_time"] + summary["reads_late"] >= 0
+
+
+@pytest.mark.net(timeout=150)
+def test_find_max_converges_and_reports_frontier(tmp_path):
+    scenario = _scenario(
+        find_max={"low": 5, "high": 60, "iterations": 3,
+                  "phase_duration": 1.5, "warmup": 0.5},
+    )
+    result = run_find_max(scenario, str(tmp_path), quiet=True)
+    assert 1 <= result.iterations <= 3
+    assert result.frontier  # every probe left a frontier row
+    for row in result.frontier:
+        assert {"rate", "ok", "achieved_rate", "ontime_ratio"} <= set(row)
+    # At 5..60 total ops/s against 3 local servers at delta 0.4 some
+    # probe must sustain the SLO; convergence means a rate came back.
+    assert result.max_rate is not None
+    assert 5 <= result.max_rate <= 60
+    metrics = result.metrics()
+    assert metrics["max_sustainable_rate"] == pytest.approx(
+        result.max_rate, abs=0.01
+    )
+
+
+@pytest.mark.net(timeout=150)
+def test_kill_primary_scenario_recovers_and_stays_timed(tmp_path):
+    scenario = _scenario(
+        op_retries=30,
+        target={"kind": "ring", "servers": 3, "replicas": 2,
+                "cluster": True, "probe_period": 0.1,
+                "suspect_timeout": 0.3},
+        phases=[
+            {"name": "warmup", "duration": 1.0, "measure": False,
+             "arrivals": {"kind": "fixed", "rate": 20}},
+            {"name": "fault", "duration": 5.0,
+             "arrivals": {"kind": "poisson", "rate": 30},
+             "fault": "kill-primary", "fault_at": 0.3},
+        ],
+        slo={"min_achieved_fraction": 0.7, "min_ontime_ratio": 0.7,
+             "max_error_fraction": 0.1},
+    )
+    report = run_scenario(scenario, str(tmp_path), quiet=True)
+    assert report.fault is not None
+    assert report.fault.killed_device is not None
+    assert report.fault.time_to_recover is not None, (
+        "no write re-acked after the kill"
+    )
+    assert report.fault.time_to_detect is not None
+    assert report.fault.promotions >= 1
+    # The acceptance bar: the merged, fault-spanning history still
+    # satisfies the timed criterion at the scenario's delta.
+    assert report.tsc_ok
+    assert report.ok, [c for c in report.slo_checks if not c.ok]

@@ -1,0 +1,362 @@
+"""Unit tests for the repro.load building blocks: histograms, arrival
+processes (determinism + rates), key samplers, workload mixes, and
+scenario validation.  The multi-process engine is covered separately in
+``test_load_engine.py`` (net-marked)."""
+
+import math
+import random
+
+import pytest
+
+from repro.load import (
+    ArrivalError,
+    Burst,
+    ClosedLoop,
+    FixedRate,
+    LatencyHistogram,
+    Poisson,
+    Ramp,
+    Scenario,
+    ScenarioError,
+    WorkloadError,
+    ZipfianKeys,
+    make_arrivals,
+    make_workload,
+    scale_arrivals,
+)
+from repro.load.hdr import SUB_BITS
+from repro.load.workload import HotsetKeys, key_name
+
+
+class TestLatencyHistogram:
+    def test_small_ticks_are_exact(self):
+        # Values below 2*2**SUB_BITS microseconds get one bucket each.
+        h = LatencyHistogram()
+        for us in (0, 1, 17, 63):
+            h.record(us / 1e6)
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(1.0) == 63 / 1e6
+        assert h.min == 0.0 and h.max == 63 / 1e6
+
+    def test_quantile_never_underestimates_and_bounds_error(self):
+        rng = random.Random(42)
+        rel = 2 ** -SUB_BITS
+        for _ in range(2000):
+            v = rng.uniform(1e-6, 10.0)
+            h = LatencyHistogram()
+            h.record(v)
+            est = h.quantile(0.5)
+            assert est >= v - 1e-6  # never flatters (half-tick slack)
+            assert est <= v * (1 + rel) + 1e-6
+
+    def test_merge_is_bucket_exact(self):
+        rng = random.Random(7)
+        whole, a, b = (
+            LatencyHistogram(), LatencyHistogram(), LatencyHistogram(),
+        )
+        for i in range(1000):
+            v = rng.expovariate(100.0)
+            whole.record(v)
+            (a if i % 2 else b).record(v)
+        a.merge(b)
+        assert a.count == whole.count
+        assert a.sum_ticks == whole.sum_ticks
+        assert a.counts == whole.counts
+        for q in (0.5, 0.9, 0.99, 0.999, 1.0):
+            assert a.quantile(q) == whole.quantile(q)
+
+    def test_serialisation_roundtrip(self):
+        h = LatencyHistogram()
+        for v in (0.0001, 0.0042, 0.5, 2.0):
+            h.record(v)
+        back = LatencyHistogram.from_dict(h.to_dict())
+        assert back.counts == h.counts
+        assert back.quantile(0.99) == h.quantile(0.99)
+        assert back.mean == h.mean
+
+    def test_serialisation_rejects_other_sub_bits(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram.from_dict({"sub_bits": 3})
+
+    def test_percentile_labels(self):
+        h = LatencyHistogram()
+        h.record(0.001)
+        assert set(h.percentiles()) == {"p50", "p99", "p99.9"}
+
+    def test_empty_histogram(self):
+        h = LatencyHistogram()
+        assert h.quantile(0.99) == 0.0
+        assert h.mean == 0.0 and len(h) == 0
+
+
+class TestArrivals:
+    def test_fixed_rate_count_and_spacing(self):
+        sched = FixedRate(50).schedule(2.0, random.Random(1))
+        assert len(sched) == 100
+        assert sched[1] - sched[0] == pytest.approx(0.02)
+        assert all(t < 2.0 for t in sched)
+
+    def test_poisson_is_deterministic_per_seed(self):
+        p = Poisson(80)
+        a = p.schedule(5.0, random.Random(7))
+        b = p.schedule(5.0, random.Random(7))
+        c = p.schedule(5.0, random.Random(8))
+        assert a == b
+        assert a != c
+        assert a == sorted(a)
+        # Mean rate within 20% over a 5s window (seeded, so not flaky).
+        assert len(a) == pytest.approx(400, rel=0.2)
+
+    def test_ramp_density_increases(self):
+        sched = Ramp(10, 90).schedule(4.0, random.Random(1))
+        assert sched == sorted(sched)
+        assert len(sched) == pytest.approx((10 + 90) / 2 * 4.0, abs=2)
+        first = sum(1 for t in sched if t < 2.0)
+        second = len(sched) - first
+        assert second > first * 2  # 130 arrivals vs 70 expected
+
+    def test_ramp_flat_degenerates_to_fixed(self):
+        assert Ramp(30, 30).schedule(1.0, random.Random(1)) == FixedRate(
+            30
+        ).schedule(1.0, random.Random(1))
+
+    def test_burst_counts_per_regime(self):
+        b = Burst(base_rate=20, burst_rate=200, period=1.0, duty=0.2)
+        sched = b.schedule(3.0, random.Random(1))
+        assert sched == sorted(sched)
+        in_burst = sum(1 for t in sched if (t % 1.0) < 0.2 + 1e-9)
+        # Per period: 40 arrivals in the burst window, 16 outside.
+        assert in_burst == pytest.approx(120, abs=6)
+        assert len(sched) - in_burst == pytest.approx(48, abs=6)
+        assert b.mean_rate(3.0) == pytest.approx(0.2 * 200 + 0.8 * 20)
+
+    def test_burst_fractional_duration_terminates(self):
+        # Regression: float-modulo segment math could produce a
+        # zero-length segment at a period boundary and loop forever.
+        sched = Burst(
+            base_rate=20, burst_rate=200, period=1.0, duty=0.2
+        ).schedule(1.2, random.Random(1))
+        assert all(0 <= t < 1.2 for t in sched)
+        assert len(sched) == pytest.approx(96, abs=6)
+
+    def test_burst_zero_base_is_pure_on_off(self):
+        sched = Burst(
+            base_rate=0, burst_rate=100, period=0.5, duty=0.4
+        ).schedule(1.0, random.Random(1))
+        assert all((t % 0.5) < 0.2 + 1e-9 for t in sched)
+
+    def test_closed_loop_has_no_schedule(self):
+        c = ClosedLoop(think=0.01)
+        assert not c.open_loop
+        with pytest.raises(ArrivalError):
+            c.schedule(1.0, random.Random(1))
+
+    def test_make_arrivals_validates(self):
+        assert make_arrivals({"kind": "fixed", "rate": 10}).rate == 10
+        for bad in (
+            {"kind": "warp"},
+            {"rate": 10},
+            {"kind": "fixed", "rate": -1},
+            {"kind": "poisson"},
+            {"kind": "burst", "burst_rate": 10, "duty": 1.5},
+        ):
+            with pytest.raises(ArrivalError):
+                make_arrivals(bad)
+
+    def test_scale_arrivals_scales_every_rate_field(self):
+        spec = scale_arrivals(
+            {"kind": "ramp", "start_rate": 10, "end_rate": 30}, 0.5
+        )
+        assert spec == {"kind": "ramp", "start_rate": 5.0, "end_rate": 15.0}
+        with pytest.raises(ArrivalError):
+            scale_arrivals({"kind": "fixed", "rate": 10}, 0.0)
+
+
+class TestWorkload:
+    def test_zipfian_shape(self):
+        sampler = ZipfianKeys(100, theta=0.99)
+        rng = random.Random(3)
+        counts = {}
+        for _ in range(20000):
+            k = sampler.sample(rng)
+            counts[k] = counts.get(k, 0) + 1
+        top = counts[key_name(0)]
+        mid = counts.get(key_name(49), 0)
+        tail = counts.get(key_name(99), 0)
+        assert top > 5 * max(mid, 1)
+        assert top > 10 * max(tail, 1)
+        # Analytic check: P(k0000) = 1/H_100(0.99) ~ 0.193.
+        h = sum(1.0 / r ** 0.99 for r in range(1, 101))
+        assert top / 20000 == pytest.approx(1.0 / h, rel=0.15)
+
+    def test_hotset_concentration(self):
+        sampler = HotsetKeys(100, hot_fraction=0.1, hot_weight=0.9)
+        rng = random.Random(3)
+        hot = sum(
+            1 for _ in range(5000)
+            if int(sampler.sample(rng)[1:]) < 10
+        )
+        assert hot / 5000 == pytest.approx(0.9, abs=0.03)
+
+    def test_mix_respects_write_fraction_and_deadlines(self):
+        mix = make_workload({
+            "write_fraction": 0.25,
+            "keys": {"kind": "uniform", "n": 8},
+            "deadlines": [
+                {"name": "fresh", "delta": 0.1, "weight": 1},
+                {"name": "lax", "delta": 1.0, "weight": 3},
+            ],
+        })
+        rng = random.Random(5)
+        ops = [mix.next_op(rng) for _ in range(4000)]
+        writes = [op for op in ops if op.kind == "write"]
+        assert len(writes) / len(ops) == pytest.approx(0.25, abs=0.03)
+        assert all(op.deadline is None for op in writes)
+        reads = [op for op in ops if op.kind == "read"]
+        fresh = sum(1 for op in reads if op.deadline == "fresh")
+        assert fresh / len(reads) == pytest.approx(0.25, abs=0.04)
+
+    def test_workload_validation(self):
+        for bad in (
+            {"write_fraction": 1.5},
+            {"keys": {"kind": "pareto"}},
+            {"keys": {"kind": "uniform", "n": 0}},
+            {"deadlines": [{"delta": 0.1}]},
+            {"keys": {"kind": "zipfian", "n": 4, "theta": 0}},
+            {"keys": {"kind": "hotset", "n": 4, "hot_fraction": 2}},
+        ):
+            with pytest.raises(WorkloadError):
+                make_workload(bad)
+
+
+class TestScenario:
+    BASE = {
+        "name": "t",
+        "delta": 0.4,
+        "target": {"kind": "ring", "servers": 3, "replicas": 2},
+        "workload": {"write_fraction": 0.3},
+        "phases": [
+            {"name": "steady", "duration": 1.0,
+             "arrivals": {"kind": "fixed", "rate": 10}},
+        ],
+    }
+
+    def _with(self, **over):
+        return Scenario.from_dict({**self.BASE, **over})
+
+    def test_roundtrips_and_totals(self):
+        s = self._with()
+        assert s.total_duration() == 1.0
+        assert s.max_concurrency == 1  # sequential sites by default
+        echo = s.describe()
+        again = Scenario.from_dict(echo)
+        assert again.delta == s.delta
+        assert [p.name for p in again.phases] == ["steady"]
+
+    def test_rejects_unknown_slo_field(self):
+        with pytest.raises(ScenarioError):
+            self._with(slo={"p99_latency": 1.0})
+
+    def test_rejects_unknown_target_field(self):
+        with pytest.raises(ScenarioError):
+            self._with(target={"kind": "ring", "shards": 4})
+
+    def test_rejects_bad_criterion(self):
+        with pytest.raises(ScenarioError):
+            self._with(criterion="linearizable")
+        assert self._with(criterion=None).criterion is None
+
+    def test_kill_primary_needs_cluster(self):
+        phases = [
+            {"name": "warm", "duration": 1,
+             "arrivals": {"kind": "fixed", "rate": 5}},
+            {"name": "fault", "duration": 1,
+             "arrivals": {"kind": "fixed", "rate": 5},
+             "fault": "kill-primary"},
+        ]
+        with pytest.raises(ScenarioError):
+            self._with(phases=phases)
+        s = self._with(
+            phases=phases,
+            target={"kind": "ring", "servers": 3, "replicas": 2,
+                    "cluster": True},
+        )
+        assert s.phases[1].fault == "kill-primary"
+
+    def test_rejects_unknown_fault_and_bad_fault_at(self):
+        with pytest.raises(ScenarioError):
+            self._with(phases=[
+                {"name": "p", "duration": 1,
+                 "arrivals": {"kind": "fixed", "rate": 5},
+                 "fault": "split-brain"},
+            ])
+        with pytest.raises(ScenarioError):
+            self._with(phases=[
+                {"name": "p", "duration": 1,
+                 "arrivals": {"kind": "fixed", "rate": 5},
+                 "fault": "kill-primary", "fault_at": 1.5},
+            ])
+
+    def test_needs_a_measured_phase(self):
+        with pytest.raises(ScenarioError):
+            self._with(phases=[
+                {"name": "w", "duration": 1, "measure": False,
+                 "arrivals": {"kind": "fixed", "rate": 5}},
+            ])
+
+    def test_replicas_cannot_exceed_servers(self):
+        with pytest.raises(ScenarioError):
+            self._with(target={"kind": "ring", "servers": 2, "replicas": 3})
+
+    def test_fixture_files_parse(self):
+        import pathlib
+
+        fixtures = (
+            pathlib.Path(__file__).parent.parent
+            / "benchmarks" / "scenarios"
+        )
+        names = sorted(p.name for p in fixtures.glob("*.json"))
+        assert "ring_smoke.json" in names
+        assert "kill_primary.json" in names
+        for path in fixtures.glob("*.json"):
+            scenario = Scenario.load(str(path))
+            assert scenario.total_duration() > 0
+
+    def test_invalid_json_reports_path(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(ScenarioError, match="bad.json"):
+            Scenario.load(str(bad))
+
+
+def test_burst_schedule_covers_mean_rate():
+    # mean_rate() and the realised schedule must agree: the SLO gate's
+    # offered-vs-achieved arithmetic depends on it.
+    for spec in (
+        {"kind": "fixed", "rate": 40},
+        {"kind": "poisson", "rate": 40},
+        {"kind": "ramp", "start_rate": 20, "end_rate": 60},
+        {"kind": "burst", "base_rate": 10, "burst_rate": 100,
+         "period": 1.0, "duty": 0.25},
+    ):
+        proc = make_arrivals(spec)
+        sched = proc.schedule(5.0, random.Random(11))
+        realised = len(sched) / 5.0
+        assert realised == pytest.approx(
+            proc.mean_rate(5.0), rel=0.2
+        ), spec
+
+
+def test_index_math_has_no_gaps():
+    # Consecutive ticks map to the same or the next index — the tiling
+    # property the docstring claims.
+    from repro.load.hdr import _index_for, _upper_ticks
+
+    last = -1
+    for ticks in list(range(0, 4096)) + [2 ** k for k in range(12, 31)]:
+        index = _index_for(ticks)
+        assert index in (last, last + 1) or ticks > 4095
+        assert _upper_ticks(index) >= ticks
+        assert index >= last
+        last = index
+    assert math.isfinite(_upper_ticks(_index_for(10 ** 9)))

@@ -1,0 +1,195 @@
+"""The coordinated-omission regression: a stalled executor must inflate
+the open-loop *response* tail (arrivals kept coming and queued) while
+the closed-loop arm quietly hides the stall by issuing fewer requests.
+Also covers the worker's retry discipline and phase accounting — all
+against an in-process stub executor, no sockets."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.load import LoadWorker, PhasePlan, make_arrivals, make_workload
+
+
+class StubValues:
+    def __init__(self):
+        self.n = 0
+
+    def next_value(self, site):
+        self.n += 1
+        return f"s{site}.{self.n}"
+
+
+class StallingExecutor:
+    """~1 ms per op, with one long stall at a fixed op number."""
+
+    def __init__(self, base=0.001, stall_at=10, stall=0.5):
+        self.base = base
+        self.stall_at = stall_at
+        self.stall = stall
+        self.calls = 0
+
+    async def _serve(self):
+        self.calls += 1
+        delay = self.stall if self.calls == self.stall_at else self.base
+        await asyncio.sleep(delay)
+
+    async def read(self, obj):
+        await self._serve()
+
+    async def write(self, obj, value):
+        await self._serve()
+
+
+def _run(arrival_spec, executor, duration=1.0, **worker_kw):
+    workload = make_workload(
+        {"write_fraction": 0.3, "keys": {"kind": "uniform", "n": 4}}
+    )
+    plan = PhasePlan("main", duration, make_arrivals(arrival_spec))
+    worker = LoadWorker(
+        executor=executor,
+        workload=workload,
+        phases=[plan],
+        site=100,
+        seed=7,
+        values=StubValues(),
+        max_concurrency=1,
+        **worker_kw,
+    )
+
+    async def _go():
+        import time
+
+        return await worker.run(time.monotonic())
+
+    (stats,) = asyncio.run(_go())
+    return stats
+
+
+@pytest.mark.net(timeout=30)  # wall-clock sleeps; reuse the hard timeout
+def test_open_loop_exposes_the_stall_closed_loop_hides_it():
+    open_stats = _run(
+        {"kind": "fixed", "rate": 100}, StallingExecutor(), duration=1.0
+    )
+    closed_stats = _run(
+        {"kind": "closed", "think": 0.0}, StallingExecutor(), duration=1.0
+    )
+
+    # Open loop: every intended arrival is offered, the ~50 arrivals the
+    # 0.5s stall backed up each waited up to the full stall, so the
+    # response p99 carries it.  Service time stays small — the stall hit
+    # one op, not the server's steady state.
+    assert open_stats.offered == 100
+    assert open_stats.response.quantile(0.99) > 0.25
+    assert open_stats.service.quantile(0.90) < 0.1
+
+    # Closed loop: intended == actual start, so the queueing delay is
+    # invisible — the harness just issued fewer requests.  That gap IS
+    # coordinated omission.
+    assert closed_stats.response.quantile(0.99) < 0.25
+    # And the throughput quietly sagged: ~1ms/op for 1s minus the stall.
+    assert closed_stats.offered < 100 + (1.0 - 0.5) / 0.001
+
+
+@pytest.mark.net(timeout=30)
+def test_open_loop_response_includes_queueing_service_does_not():
+    stats = _run(
+        {"kind": "fixed", "rate": 200},
+        StallingExecutor(base=0.002, stall_at=1, stall=0.3),
+        duration=0.5,
+    )
+    assert stats.offered == 100
+    # Everything behind the head-of-line stall queued: median response
+    # far above median service.
+    assert stats.response.quantile(0.5) > 2 * stats.service.quantile(0.5)
+
+
+class FlakyExecutor:
+    """Fails each op ``fail`` times with ``exc`` before succeeding."""
+
+    def __init__(self, fail=2, exc=ConnectionError):
+        self.fail = fail
+        self.exc = exc
+        self.attempts = {}
+        self.write_values = []
+
+    async def read(self, obj):
+        await self._maybe_fail(("r", obj))
+
+    async def write(self, obj, value):
+        self.write_values.append(value)
+        await self._maybe_fail(("w", obj))
+
+    async def _maybe_fail(self, key):
+        seen = self.attempts.get(key, 0)
+        self.attempts[key] = seen + 1
+        if seen < self.fail:
+            raise self.exc(f"transient {key}")
+
+
+def test_retryable_errors_are_retried_with_fresh_write_values():
+    executor = FlakyExecutor(fail=2)
+    stats = _run(
+        {"kind": "fixed", "rate": 50},
+        executor,
+        duration=0.2,
+        op_retries=4,
+        retry_backoff=0.0,
+        retryable=(ConnectionError,),
+    )
+    assert stats.errors == 0
+    assert stats.completed == stats.offered == 10
+    # A failed write ack may still have installed server-side, so every
+    # retry attempt must carry a fresh unique value.
+    assert len(set(executor.write_values)) == len(executor.write_values)
+
+
+def test_non_retryable_errors_are_counted_not_raised():
+    executor = FlakyExecutor(fail=1000, exc=ValueError)
+    stats = _run(
+        {"kind": "fixed", "rate": 50},
+        executor,
+        duration=0.2,
+        op_retries=2,
+        retry_backoff=0.0,
+        retryable=(ConnectionError,),  # ValueError is NOT retryable
+    )
+    assert stats.offered == 10
+    assert stats.errors == 10
+    assert stats.completed == 0
+    assert stats.errors_by_kind == {"ValueError": 10}
+    # Only the first attempt ran per op: no retry loop for foreign errors.
+    assert sum(executor.attempts.values()) == 10
+
+
+def test_retry_exhaustion_counts_one_error():
+    executor = FlakyExecutor(fail=1000, exc=ConnectionError)
+    stats = _run(
+        {"kind": "fixed", "rate": 20},
+        executor,
+        duration=0.1,
+        op_retries=3,
+        retry_backoff=0.0,
+        retryable=(ConnectionError,),
+    )
+    assert stats.offered == 2
+    assert stats.errors == 2
+    assert stats.errors_by_kind == {"ConnectionError": 2}
+    # 1 + 3 retries per op.
+    assert sum(executor.attempts.values()) == 2 * 4
+
+
+def test_phase_stats_merge_and_serialisation_roundtrip():
+    from repro.load import PhaseStats
+
+    a = _run({"kind": "fixed", "rate": 100}, StallingExecutor(
+        base=0.0001, stall_at=10 ** 9), duration=0.1)
+    b = _run({"kind": "fixed", "rate": 100}, StallingExecutor(
+        base=0.0001, stall_at=10 ** 9), duration=0.1)
+    total = a.offered + b.offered
+    back = PhaseStats.from_dict(a.to_dict())
+    back.merge(PhaseStats.from_dict(b.to_dict()))
+    assert back.offered == total
+    assert back.completed == total
+    assert back.response.count == total

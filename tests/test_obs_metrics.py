@@ -109,6 +109,43 @@ class TestHistograms:
             with pytest.raises(MetricError):
                 exponential_buckets(*bad)
 
+    def test_merge_is_exact_at_bucket_granularity(self):
+        # A child that saw everything must agree — counts, sum, and every
+        # quantile — with two children merged after a split of the same
+        # observations (merging adds no error beyond bucketing).
+        buckets = exponential_buckets(0.001, 2.0, 12)
+        whole = Registry().histogram("repro_w_seconds", buckets=buckets)
+        a = Registry().histogram("repro_a_seconds", buckets=buckets)
+        b = Registry().histogram("repro_b_seconds", buckets=buckets)
+        values = [0.0005 * (i + 1) * 1.37 for i in range(200)]
+        for i, v in enumerate(values):
+            whole.observe(v)
+            (a if i % 2 else b).observe(v)
+        a._default.merge(b._default)
+        assert a._default.count == whole._default.count == len(values)
+        assert a._default.sum == pytest.approx(whole._default.sum)
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert a._default.quantile(q) == whole._default.quantile(q)
+
+    def test_merge_quantile_error_is_one_bucket_width(self):
+        # Documented bound: the estimate is the bucket upper edge, so
+        # true <= estimate <= true * factor for exponential buckets.
+        factor = 2.0
+        h = Registry().histogram(
+            "repro_q_seconds", buckets=exponential_buckets(0.001, factor, 20)
+        )
+        true_value = 0.0123
+        h.observe(true_value)
+        estimate = h._default.quantile(0.99)
+        assert true_value <= estimate <= true_value * factor
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = Registry().histogram("repro_a_seconds", buckets=(0.1, 1.0))
+        b = Registry().histogram("repro_b_seconds", buckets=(0.2, 2.0))
+        b.observe(0.5)
+        with pytest.raises(MetricError):
+            a._default.merge(b._default)
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_family(self):
@@ -199,6 +236,12 @@ class TestSnapshots:
         hist = by_name["repro_h_seconds"]["samples"][0]
         assert hist["count"] == 2
         assert hist["buckets"][0][1] == 2
+
+    def test_merge_rejects_mismatched_histogram_bounds(self):
+        other = Registry()
+        other.histogram("repro_h_seconds", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(MetricError):
+            merge_snapshots(self._snap(), other.snapshot())
 
     def test_diff_subtracts_counters_and_histograms(self):
         before, after = self._snap(1, 10), self._snap(5, 99)
