@@ -1,0 +1,190 @@
+"""The pre-engine server, frozen for the overhead baseline.
+
+``bench_engine_overhead`` compares today's engine-backed
+:class:`~repro.net.server.NetObjectServer` against the code it
+replaced: the inline ``_execute`` handlers that lived in the server
+class before the protocol logic moved into :mod:`repro.engine`.  This
+module preserves those handlers verbatim (modulo state access: the
+store, context and counters now live on the engine object, so the
+frozen handlers reach through ``self.engine`` — the same attribute
+loads the engine path performs).
+
+Fairness notes:
+
+* the reply-cache ``put`` moved from the dispatch loop into
+  ``engine.execute``; the frozen ``_execute`` performs it itself, so
+  both arms do one cache insertion per request;
+* the dispatch loop, locking, framing, and propagation are shared —
+  only the per-request protocol logic differs, which is exactly the
+  code the refactor moved.
+
+Not wired into anything but the bench; do not use it as a server.
+"""
+
+from typing import Any, Dict, List, Tuple
+
+from repro.engine import version_payload
+from repro.engine.effects import EngineResult
+from repro.engine.versions import PhysicalVersion
+from repro.net.framing import ERROR
+from repro.net.server import NetObjectServer
+from repro.protocol import messages
+
+
+class LegacyInlineServer(NetObjectServer):
+    """NetObjectServer with the pre-engine inline request handlers."""
+
+    async def _execute(self, client_id: int, frame: Dict[str, Any]) -> EngineResult:
+        kind = str(frame.get("kind"))
+        reply, installed = await self._legacy_execute(client_id, frame, kind)
+        key = self.engine.dedup_key(client_id, frame)
+        if key is not None and reply.get("kind") != ERROR:
+            self.engine.replies.put(key, reply)
+        return EngineResult(reply, wal=list(installed), installed=list(installed))
+
+    # -- the old handlers, verbatim --------------------------------------------
+
+    async def _legacy_execute(
+        self, client_id: int, frame: Dict[str, Any], kind: str
+    ) -> Tuple[Dict[str, Any], List[PhysicalVersion]]:
+        if kind == messages.FETCH:
+            return await self._on_fetch(frame), []
+        if kind == messages.VALIDATE:
+            return await self._on_validate(frame), []
+        if kind == messages.WRITE:
+            return await self._on_write(client_id, frame)
+        if kind == messages.WRITE_BATCH:
+            return await self._on_write_batch(client_id, frame)
+        if kind == messages.VALIDATE_BATCH:
+            return await self._on_validate_batch(frame), []
+        return {
+            "kind": ERROR,
+            "error": f"unknown message kind {kind!r}",
+            "req": frame.get("req"),
+        }, []
+
+    def _current(self, obj: str) -> PhysicalVersion:
+        e = self.engine
+        if obj not in e.store:
+            e.store[obj] = PhysicalVersion(
+                obj, self.initial_value, alpha=0.0, omega=0.0, writer=-1
+            )
+        version = e.store[obj]
+        if obj in e.recovered_old:
+            e.recovered_old.discard(obj)
+            e.revalidations += 1
+            if self.durable is not None and self.durable.instruments is not None:
+                self.durable.instruments.on_revalidation()
+        version.advance_omega(self.engine.clock())
+        return version
+
+    async def _on_fetch(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        async with self._lock:
+            self.engine.requests += 1
+            version = self._current(str(frame["obj"])).copy()
+        return {
+            "kind": messages.VERSION, "req": frame.get("req"),
+            **version_payload(version),
+        }
+
+    def _validate_result(self, obj: str, alpha: Any) -> Dict[str, Any]:
+        version = self._current(obj)
+        if version.alpha == alpha:
+            return {
+                "kind": messages.STILL_VALID, "obj": obj, "omega": version.omega,
+            }
+        return {"kind": messages.VERSION, **version_payload(version.copy())}
+
+    async def _on_validate(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        async with self._lock:
+            self.engine.requests += 1
+            reply = self._validate_result(str(frame["obj"]), frame.get("alpha"))
+        reply["req"] = frame.get("req")
+        return reply
+
+    def _install(
+        self, obj: str, value: Any, client_id: int
+    ) -> PhysicalVersion:
+        e = self.engine
+        install_time = e.clock()
+        version = PhysicalVersion(obj, value, install_time, install_time, client_id)
+        current = e.store.get(obj)
+        if current is None or install_time > current.alpha:
+            e.store[obj] = version.copy()
+            e.context = max(e.context, install_time)
+            e.recovered_old.discard(obj)
+            e.writes_installed += 1
+        else:
+            e.writes_discarded += 1
+        return version
+
+    async def _on_write(
+        self, client_id: int, frame: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], List[PhysicalVersion]]:
+        obj = str(frame["obj"])
+        value = frame["value"]
+        async with self._lock:
+            self.engine.requests += 1
+            version = self._install(obj, value, client_id)
+            if self.durable is not None:
+                self.durable.log_write(version)
+                self.durable.maybe_snapshot(
+                    self.engine.store, self.engine.context, version.alpha
+                )
+        reply = {
+            "kind": messages.WRITE_ACK, "req": frame.get("req"),
+            "obj": obj, "alpha": version.alpha,
+        }
+        return reply, [version]
+
+    async def _on_write_batch(
+        self, client_id: int, frame: Dict[str, Any]
+    ) -> Tuple[Dict[str, Any], List[PhysicalVersion]]:
+        writes = frame.get("writes")
+        if not isinstance(writes, list) or not writes:
+            return {
+                "kind": ERROR, "req": frame.get("req"),
+                "error": "write-batch needs a non-empty 'writes' list",
+            }, []
+        self.engine.batch_frames += 1
+        self.engine.batched_writes += len(writes)
+        if self.pipeline is not None:
+            self.pipeline.on_batch(len(writes))
+        installed: List[PhysicalVersion] = []
+        async with self._lock:
+            self.engine.requests += len(writes)
+            for item in writes:
+                installed.append(
+                    self._install(str(item["obj"]), item["value"], client_id)
+                )
+            if self.durable is not None:
+                self.durable.log_writes(installed)
+                self.durable.maybe_snapshot(
+                    self.engine.store, self.engine.context, installed[-1].alpha
+                )
+        reply = {
+            "kind": messages.WRITE_BATCH_ACK, "req": frame.get("req"),
+            "acks": [{"obj": v.obj, "alpha": v.alpha} for v in installed],
+        }
+        return reply, installed
+
+    async def _on_validate_batch(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        items = frame.get("items")
+        if not isinstance(items, list) or not items:
+            return {
+                "kind": ERROR, "req": frame.get("req"),
+                "error": "validate-batch needs a non-empty 'items' list",
+            }
+        self.engine.batch_frames += 1
+        if self.pipeline is not None:
+            self.pipeline.on_batch(len(items))
+        async with self._lock:
+            self.engine.requests += len(items)
+            results = [
+                self._validate_result(str(item["obj"]), item.get("alpha"))
+                for item in items
+            ]
+        return {
+            "kind": messages.VALIDATE_BATCH_ACK, "req": frame.get("req"),
+            "results": results,
+        }

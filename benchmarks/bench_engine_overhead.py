@@ -1,0 +1,221 @@
+"""Engine-extraction overhead on the TCP hot path: engine vs legacy.
+
+The sans-I/O refactor moved every per-request decision out of
+``NetObjectServer`` into :class:`repro.engine.ServerEngine`, adding one
+indirection (``engine.execute`` returning an
+:class:`~repro.engine.effects.EngineResult`) where the old server ran
+inline handlers.  The acceptance bar for the refactor is that this
+indirection is free in practice: the engine-backed server must stay
+within 5% of the frozen pre-engine handlers
+(``benchmarks/_legacy_server.LegacyInlineServer``) on the same
+write-heavy pipelined workload.
+
+Server latency is 0 here — unlike ``bench_pipeline`` this bench wants
+the per-request CPU cost exposed, not overlapped — and both arms share
+the dispatch loop, framing, and client, so the measured delta is the
+moved code plus the effect-object plumbing.  Both arms' traces are
+re-checked with TSC and must install the same number of writes, so the
+legacy arm provably does the same protocol work.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_engine_overhead.py`` — full bench, appends
+  to ``latest_results.txt`` via the shared reporter;
+* ``python benchmarks/bench_engine_overhead.py [--smoke]`` — plain
+  script for CI; ``--smoke`` shrinks the workload, same 5% ceiling.
+"""
+
+import asyncio
+import math
+import time
+
+from _legacy_server import LegacyInlineServer
+
+from repro.checkers import check_tsc
+from repro.net.client import NetCacheClient
+from repro.net.server import NetObjectServer
+from repro.sim.trace import TraceRecorder, UniqueValueFactory
+
+OBJECTS = [f"obj{i}" for i in range(8)]
+#: The refactor's acceptance bound: engine time <= 1.05x legacy time.
+OVERHEAD_CEILING = 1.05
+DEPTH = 8  # pipelined, so the socket round-trips overlap
+WAVE = 32  # writes issued concurrently per burst
+
+ARMS = (
+    {"arm": "legacy", "server": LegacyInlineServer},
+    {"arm": "engine", "server": NetObjectServer},
+)
+
+
+async def _drive(server_cls, n_writes):
+    """One workload run; returns (seconds, tsc_result, writes_installed)."""
+    recorder = TraceRecorder()
+    values = UniqueValueFactory()
+    server = server_cls(propagation="none")
+    await server.start()
+    client = NetCacheClient(
+        1, server.host, server.port, recorder=recorder, pipeline_depth=DEPTH,
+    )
+    await client.connect()
+    try:
+        start = time.perf_counter()
+        issued = 0
+        while issued < n_writes:
+            chunk = min(WAVE, n_writes - issued)
+            await asyncio.gather(*(
+                client.write(
+                    OBJECTS[(issued + j) % len(OBJECTS)],
+                    values.next_value(client.client_id),
+                )
+                for j in range(chunk)
+            ))
+            issued += chunk
+            # A read per burst keeps the trace a checkable history and
+            # exercises the fetch/validate handlers on both arms.
+            await client.read(OBJECTS[issued % len(OBJECTS)])
+        elapsed = time.perf_counter() - start
+        epsilon = client.epsilon_bound
+        installed = server.engine.writes_installed
+    finally:
+        await client.close()
+        await server.close()
+    tsc = check_tsc(recorder.history(), math.inf, epsilon)
+    return elapsed, tsc, installed
+
+
+def run_once(server_cls, n_writes):
+    return asyncio.run(_drive(server_cls, n_writes))
+
+
+def rows_for(n_writes, trials):
+    """Best-of-N per arm, interleaved so machine drift hits both arms
+    equally; best-of (not mean) because scheduler noise is one-sided."""
+    best = {spec["arm"]: (float("inf"), None, None) for spec in ARMS}
+    for _ in range(trials):
+        for spec in ARMS:
+            result = run_once(spec["server"], n_writes)
+            if result[0] < best[spec["arm"]][0]:
+                best[spec["arm"]] = result
+    baseline = best["legacy"][0]
+    rows = []
+    for spec in ARMS:
+        seconds, tsc, installed = best[spec["arm"]]
+        rows.append({
+            "arm": spec["arm"],
+            "seconds": round(seconds, 4),
+            "writes/s": round(n_writes / seconds, 1),
+            "vs_legacy": round(seconds / baseline, 3),
+            "installed": installed,
+            "tsc": "ok" if tsc.satisfied else "VIOLATED",
+        })
+    return rows
+
+
+def _check(rows, n_writes):
+    """The acceptance bar: same work, clean traces, <= 5% slower."""
+    violations = [r["arm"] for r in rows if r["tsc"] != "ok"]
+    if violations:
+        raise SystemExit(f"TSC violated under arms {violations}: {rows}")
+    by_arm = {r["arm"]: r for r in rows}
+    if by_arm["legacy"]["installed"] != by_arm["engine"]["installed"]:
+        raise SystemExit(
+            "arms did different protocol work "
+            f"({by_arm['legacy']['installed']} vs "
+            f"{by_arm['engine']['installed']} installs): {rows}"
+        )
+    ratio = by_arm["engine"]["vs_legacy"]
+    if ratio > OVERHEAD_CEILING:
+        raise SystemExit(
+            f"engine path {ratio:.3f}x legacy exceeds the "
+            f"{OVERHEAD_CEILING:.2f}x overhead ceiling: {rows}"
+        )
+    return ratio
+
+
+def _emit_bench(rows, n_writes, trials, smoke):
+    """BENCH_engine.json: the machine-readable twin of the table."""
+    from _report import bench_json
+
+    by_arm = {r["arm"]: r for r in rows}
+    delta_us = (
+        (by_arm["engine"]["seconds"] - by_arm["legacy"]["seconds"])
+        / n_writes * 1e6
+    )
+    bench_json(
+        "engine",
+        {"n_writes": n_writes, "trials": trials, "smoke": smoke,
+         "depth": DEPTH, "wave": WAVE},
+        {
+            "legacy_writes_per_s": by_arm["legacy"]["writes/s"],
+            "engine_writes_per_s": by_arm["engine"]["writes/s"],
+            "engine_vs_legacy": by_arm["engine"]["vs_legacy"],
+            "overhead_us_per_write": round(delta_us, 3),
+            "overhead_ceiling": OVERHEAD_CEILING,
+            "legacy_tsc_ok": by_arm["legacy"]["tsc"] == "ok",
+            "engine_tsc_ok": by_arm["engine"]["tsc"] == "ok",
+        },
+        notes="sans-I/O engine vs frozen inline handlers (TCP, latency 0)",
+    )
+
+
+def test_engine_overhead(benchmark):
+    from _report import report
+
+    rows = rows_for(n_writes=600, trials=5)
+    report(
+        "Sans-I/O engine overhead vs frozen inline handlers (TCP)",
+        rows,
+        notes=(
+            f"server latency 0, depth {DEPTH}; ceiling: engine <= "
+            f"{OVERHEAD_CEILING:.2f}x legacy; both traces TSC-checked"
+        ),
+    )
+    _emit_bench(rows, n_writes=600, trials=5, smoke=False)
+    ratio = _check(rows, n_writes=600)
+    assert ratio <= OVERHEAD_CEILING, rows
+    benchmark(run_once, NetObjectServer, 64)
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small workload for CI (same 5%% ceiling)",
+    )
+    parser.add_argument(
+        "--report", action="store_true",
+        help="also append the table to latest_results.txt",
+    )
+    args = parser.parse_args(argv)
+    n_writes, trials = (200, 3) if args.smoke else (600, 5)
+    rows = rows_for(n_writes, trials)
+    if args.report:
+        from _report import report
+
+        report(
+            "Sans-I/O engine overhead vs frozen inline handlers (TCP)",
+            rows,
+            notes=(
+                f"--smoke={args.smoke}; ceiling engine <= "
+                f"{OVERHEAD_CEILING:.2f}x legacy; traces TSC-checked"
+            ),
+        )
+    _emit_bench(rows, n_writes, trials, smoke=args.smoke)
+    for row in rows:
+        print(
+            f"{row['arm']:>6}: {row['seconds']:.4f}s "
+            f"({row['writes/s']:.0f} writes/s, {row['vs_legacy']:.3f}x "
+            f"legacy, {row['installed']} installs, tsc {row['tsc']})"
+        )
+    ratio = _check(rows, n_writes)
+    print(
+        f"OK: engine {ratio:.3f}x legacy, within the "
+        f"{OVERHEAD_CEILING:.2f}x ceiling"
+    )
+
+
+if __name__ == "__main__":
+    main()

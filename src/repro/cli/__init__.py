@@ -1,0 +1,92 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``check TRACE.json --criterion tsc --delta 0.5`` — run a consistency
+  checker on a recorded trace (see :mod:`repro.core.io` for the format);
+* ``threshold TRACE.json`` — report the trace's delta thresholds;
+* ``render TRACE.json`` — draw the execution as a paper-style timeline;
+* ``figures`` — verify every worked example of the paper;
+* ``sweep`` — run the Section 6 delta-vs-cost simulation;
+* ``webcache`` — run the Section 4 web-cache policy comparison;
+* ``serve`` — run a real TCP object server (``repro.net``);
+* ``client`` — run a workload against a server and record a trace;
+* ``net-demo`` — in-process TCP cluster with clock skew and fault
+  injection, checker-verified (docs/NET_PROTOCOL.md);
+* ``ring build/add/rebalance/serve-set/soak`` — consistent-hash ring
+  management and the multi-server replicated deployment (docs/RING.md);
+* ``obs dump/serve/diff`` — registry snapshots, the static ``/metrics``
+  server, and counter deltas (docs/OBSERVABILITY.md);
+* ``load run/report/compare`` — coordinated-omission-free load
+  generation, the SLO-gated scenario engine, and BENCH result files
+  (docs/LOAD.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cli import check, cluster, load, net, obs, ring, simulate, store
+
+# Compatibility re-exports: the pre-package ``repro/cli.py`` exposed the
+# command functions at module level; keep them importable from the same
+# place.
+from repro.cli.check import (  # noqa: F401
+    CHECKERS,
+    cmd_check,
+    cmd_render,
+    cmd_threshold,
+)
+from repro.cli.cluster import cmd_cluster_status, cmd_cluster_watch  # noqa: F401
+from repro.cli.load import (  # noqa: F401
+    cmd_load_compare,
+    cmd_load_report,
+    cmd_load_run,
+)
+from repro.cli.net import (  # noqa: F401
+    cmd_client,
+    cmd_merge,
+    cmd_net_demo,
+    cmd_serve,
+)
+from repro.cli.obs import cmd_obs_diff, cmd_obs_dump, cmd_obs_serve  # noqa: F401
+from repro.cli.ring import (  # noqa: F401
+    cmd_ring_add,
+    cmd_ring_build,
+    cmd_ring_rebalance,
+    cmd_ring_serve_set,
+    cmd_ring_soak,
+)
+from repro.cli.simulate import cmd_sweep, cmd_webcache  # noqa: F401
+from repro.cli.store import (  # noqa: F401
+    cmd_store_compact,
+    cmd_store_inspect,
+    cmd_store_verify,
+)
+
+#: Command-group modules, in help-listing order.
+COMMAND_MODULES = (check, simulate, net, ring, store, obs, cluster, load)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Timed consistency for shared distributed objects "
+        "(PODC '99 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for module in COMMAND_MODULES:
+        module.register(sub)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

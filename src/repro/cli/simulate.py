@@ -1,0 +1,83 @@
+"""Simulation study commands: ``sweep``, ``webcache``."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import delta_cost_sweep, print_table
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.workloads import read_heavy_hotspot
+
+    rows = delta_cost_sweep(
+        args.deltas,
+        lambda: read_heavy_hotspot(
+            n_ops=args.ops, mean_think_time=0.08, write_fraction=args.write_fraction
+        ),
+        variant=args.variant,
+        base_variant="sc" if args.variant == "tsc" else "cc",
+        n_clients=args.clients,
+        seed=args.seed,
+    )
+    print_table(
+        rows,
+        columns=[
+            "variant", "delta", "hit_ratio", "msgs_per_read", "validations",
+            "mean_staleness", "max_staleness", "stale_frac",
+        ],
+        title=f"delta-vs-cost sweep ({args.variant}, {args.clients} clients, "
+        f"seed {args.seed})",
+    )
+    if args.csv:
+        from repro.analysis import write_csv
+
+        write_csv(rows, args.csv)
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def cmd_webcache(args: argparse.Namespace) -> int:
+    from repro.webcache import (
+        AdaptiveTTL,
+        FixedTTL,
+        PollEveryTime,
+        ServerInvalidation,
+        compare_policies,
+    )
+
+    policies = [PollEveryTime()]
+    policies += [FixedTTL(ttl) for ttl in args.ttls]
+    policies += [AdaptiveTTL(factor=0.2, min_ttl=0.05, max_ttl=10.0),
+                 ServerInvalidation()]
+    rows = compare_policies(
+        policies,
+        n_caches=args.caches,
+        n_docs=args.docs,
+        requests_per_cache=args.requests,
+        seed=args.seed,
+    )
+    print_table(rows, title="web cache consistency policies")
+    return 0
+
+
+def register(sub: "argparse._SubParsersAction") -> None:
+    """Attach this module's subcommands to the ``repro`` parser."""
+    p_sweep = sub.add_parser("sweep", help="delta-vs-cost simulation")
+    p_sweep.add_argument("--variant", choices=["tsc", "tcc"], default="tsc")
+    p_sweep.add_argument("--deltas", type=float, nargs="+",
+                         default=[0.05, 0.1, 0.25, 0.5, 1.0, 2.0])
+    p_sweep.add_argument("--clients", type=int, default=6)
+    p_sweep.add_argument("--ops", type=int, default=120)
+    p_sweep.add_argument("--write-fraction", type=float, default=0.08)
+    p_sweep.add_argument("--seed", type=int, default=11)
+    p_sweep.add_argument("--csv", default=None,
+                         help="also write the rows to this CSV path")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_web = sub.add_parser("webcache", help="web-cache policy comparison")
+    p_web.add_argument("--ttls", type=float, nargs="+", default=[0.5, 2.0])
+    p_web.add_argument("--caches", type=int, default=5)
+    p_web.add_argument("--docs", type=int, default=20)
+    p_web.add_argument("--requests", type=int, default=150)
+    p_web.add_argument("--seed", type=int, default=17)
+    p_web.set_defaults(func=cmd_webcache)

@@ -1,0 +1,409 @@
+"""Client-side engines: the lifetime cache as a pure state machine.
+
+:class:`CacheEngine` is the physical-clock cache of Sections 5.1-5.2
+(rules 1-3); :class:`CausalCacheEngine` the vector-clock cache of
+Section 5.3.  The transport drivers — the simulator's
+:class:`repro.protocol.cache_client.TimedCacheClient`, the TCP
+:class:`repro.net.client.NetCacheClient`, and the asyncio twin in
+:mod:`repro.sim.aio` — own request ids, retransmission, futures/events
+and trace recording; every cache mutation and freshness judgement lives
+here, once.
+
+Time is a parameter, not an import: the driver passes its own reading
+(``now``) into :meth:`CacheEngine.rule3` / :meth:`CacheEngine.lookup`,
+and the instant to record as ``fetched_at`` into the install methods, so
+the same engine runs under simulated, synchronized, and wall clocks.
+
+Division of stat-keeping: the engine counts what cache *state* decides —
+``fresh_hits``/``validations``/``fetches`` (the read decision),
+``marked_old``/``invalidations`` (demotions), ``fetch_check_failures``,
+``pushes``/``push_invalidations``.  The driver counts what transport
+decides: ``reads``/``writes``, ``revalidated``/``refreshed`` (which
+reply came back), ``retries``/``busy``/``batched_writes``, latencies.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.clocks.base import Ordering
+from repro.engine.stats import ClientStats
+from repro.engine.versions import CacheEntry, LogicalVersion, PhysicalVersion
+
+
+class StalenessAction(enum.Enum):
+    """What the Context rules do to an entry that fell behind."""
+
+    INVALIDATE = "invalidate"  # drop: next access is a full fetch
+    MARK_OLD = "mark-old"  # keep: next access validates (Section 5.2)
+
+
+@dataclass
+class ReadDecision:
+    """How a read of ``obj`` can complete given the cache state.
+
+    ``action`` is ``"hit"`` (serve ``value`` with no messages),
+    ``"validate"`` (if-modified-since with the cached ``alpha``), or
+    ``"fetch"`` (cold miss: ask for the full version).
+    """
+
+    action: str
+    value: Any = None
+    alpha: Any = None
+
+    @property
+    def hit(self) -> bool:
+        return self.action == "hit"
+
+
+class _CacheBase:
+    """Validation and demotion plumbing shared by both cache engines."""
+
+    def __init__(
+        self,
+        *,
+        site_id: int,
+        delta: float,
+        staleness_action: StalenessAction,
+        delta_overrides: Optional[Dict[str, float]],
+        stats: Optional[ClientStats],
+    ) -> None:
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        if delta_overrides and any(d < 0 for d in delta_overrides.values()):
+            raise ValueError("delta overrides must be non-negative")
+        self.site_id = site_id
+        self.delta = delta
+        self.delta_overrides = dict(delta_overrides or {})
+        self.staleness_action = staleness_action
+        self.stats = stats if stats is not None else ClientStats()
+        self.cache: Dict[str, CacheEntry] = {}
+
+    def delta_for(self, obj: str) -> float:
+        """The freshness bound in force for ``obj``."""
+        return self.delta_overrides.get(obj, self.delta)
+
+    def _demote(self, obj: str, entry: CacheEntry) -> None:
+        """Rule 1's invalidation clause, per the configured policy."""
+        if self.staleness_action is StalenessAction.INVALIDATE:
+            del self.cache[obj]
+            self.stats.invalidations += 1
+        elif not entry.old:
+            entry.mark_old()
+            self.stats.marked_old += 1
+
+    def _store(self, version: Any, fetched_at: float) -> None:
+        entry = self.cache.get(version.obj)
+        if entry is None:
+            self.cache[version.obj] = CacheEntry(version, fetched_at=fetched_at)
+        else:
+            entry.refresh(version, fetched_at)
+
+
+class CacheEngine(_CacheBase):
+    """Physical-clock lifetime cache: SC when ``delta`` is infinite,
+    TSC(delta) otherwise."""
+
+    def __init__(
+        self,
+        *,
+        site_id: int = -1,
+        delta: float = math.inf,
+        staleness_action: StalenessAction = StalenessAction.MARK_OLD,
+        delta_overrides: Optional[Dict[str, float]] = None,
+        stats: Optional[ClientStats] = None,
+    ) -> None:
+        super().__init__(
+            site_id=site_id, delta=delta, staleness_action=staleness_action,
+            delta_overrides=delta_overrides, stats=stats,
+        )
+        self.context = 0.0
+
+    # -- the rules ------------------------------------------------------------
+
+    def rule3(self, now: float) -> None:
+        """Rule 3 (Section 5.2): Context_i := max(t_i - delta, Context_i).
+
+        With per-object overrides the global advance uses the *loosest*
+        bound in force (tighter per-object bounds are enforced in
+        :meth:`usable`), so a loose override is not defeated by the
+        global context."""
+        loosest = self.delta
+        if self.delta_overrides:
+            loosest = max(loosest, max(self.delta_overrides.values()))
+        if math.isinf(loosest):
+            return
+        self.advance_context(now - loosest)
+
+    def advance_context(self, candidate: float) -> None:
+        """Raise Context_i and demote every entry whose ending time fell
+        behind it (rule 1's invalidation clause)."""
+        if candidate <= self.context:
+            return
+        self.context = candidate
+        for obj, entry in list(self.cache.items()):
+            if entry.version.omega < self.context and not entry.old:
+                self._demote(obj, entry)
+
+    def usable(self, entry: CacheEntry, now: Optional[float] = None) -> bool:
+        """May this cached version be returned with no messages?
+
+        ``now`` arms the per-object delta bound; passing ``None`` skips
+        it — the TCP client's behaviour, where pull mode enforces delta
+        through rule 3 alone and push mode trusts the server's pushes
+        for freshness."""
+        if entry.old or entry.version.omega < self.context:
+            return False
+        if now is not None:
+            bound = self.delta_for(entry.version.obj)
+            if not math.isinf(bound):
+                if entry.version.omega < now - bound:
+                    return False
+        return True
+
+    def lookup(self, obj: str, now: Optional[float] = None) -> ReadDecision:
+        """Classify a read (counting the decision's stats): fresh hit,
+        if-modified-since validation, or cold fetch."""
+        entry = self.cache.get(obj)
+        if entry is not None and self.usable(entry, now):
+            entry.hits += 1
+            self.stats.fresh_hits += 1
+            return ReadDecision("hit", value=entry.version.value)
+        if entry is not None:
+            self.stats.validations += 1
+            return ReadDecision("validate", alpha=entry.version.alpha)
+        self.stats.fetches += 1
+        return ReadDecision("fetch")
+
+    # -- applying server replies ----------------------------------------------
+
+    def install_fetched(self, version: PhysicalVersion, fetched_at: float) -> None:
+        """Rule 1: Context_i := max(alpha, Context_i); sweep; store."""
+        if version.omega < self.context:
+            # Cross-server case: sound to accept because writes are
+            # synchronous (see the design notes in
+            # repro.protocol.cache_client).
+            self.stats.fetch_check_failures += 1
+            version.advance_omega(self.context)
+        self.advance_context(version.alpha)
+        self._store(version, fetched_at)
+
+    def apply_still_valid(self, obj: str, omega: float) -> "tuple[bool, Any]":
+        """A STILL_VALID reply: advance the ending time, clear *old*.
+        Returns ``(entry found, cached value)``."""
+        entry = self.cache.get(obj)
+        if entry is None:
+            return False, None
+        entry.version.advance_omega(omega)
+        entry.old = False
+        return True, entry.version.value
+
+    def apply_write_ack(
+        self, obj: str, value: Any, alpha: float, fetched_at: float
+    ) -> PhysicalVersion:
+        """Rule 2: Context_i := the write's install time; cache own copy."""
+        version = PhysicalVersion(obj, value, alpha, alpha, self.site_id)
+        self.advance_context(alpha)
+        self._store(version, fetched_at)
+        return version
+
+    def apply_push(self, version: PhysicalVersion, fetched_at: float) -> bool:
+        """A server push: install iff strictly newer than what we hold."""
+        self.stats.pushes += 1
+        entry = self.cache.get(version.obj)
+        if entry is None or version.alpha > entry.version.alpha:
+            self.install_fetched(version, fetched_at)
+            return True
+        return False
+
+    def apply_invalidate(self, obj: str, alpha: float) -> None:
+        """A server invalidation: demote the entry if it is older."""
+        self.stats.push_invalidations += 1
+        entry = self.cache.get(obj)
+        if entry is not None and entry.version.alpha < alpha:
+            self._demote(obj, entry)
+
+    # -- invariants -----------------------------------------------------------
+
+    def usable_snapshot(self, now: Optional[float] = None) -> Dict[str, PhysicalVersion]:
+        """The versions this cache would serve right now, per object."""
+        return {
+            obj: entry.version
+            for obj, entry in self.cache.items()
+            if self.usable(entry, now)
+        }
+
+    def snapshot_mutually_consistent(self, now: Optional[float] = None) -> bool:
+        """Section 5.1's cache-consistency invariant: the usable entries'
+        lifetimes pairwise overlap (max start time <= min ending time), so
+        all served values coexisted at some instant.  Holds by
+        construction — ``Context_i`` is the max start time ever seen and
+        usable entries have ``omega >= Context_i`` — and is asserted by
+        the tests as a protocol invariant."""
+        versions = list(self.usable_snapshot(now).values())
+        if not versions:
+            return True
+        max_alpha = max(v.alpha for v in versions)
+        min_omega = min(v.omega for v in versions)
+        return max_alpha <= min_omega
+
+
+class CausalCacheEngine(_CacheBase):
+    """Vector-clock lifetime cache: CC when ``delta`` is infinite,
+    TCC(delta) otherwise (via the checking time ``beta``)."""
+
+    def __init__(
+        self,
+        *,
+        site_id: int,
+        vclock: Any,
+        zero_timestamp: Any,
+        delta: float = math.inf,
+        staleness_action: StalenessAction = StalenessAction.MARK_OLD,
+        delta_overrides: Optional[Dict[str, float]] = None,
+        stats: Optional[ClientStats] = None,
+    ) -> None:
+        super().__init__(
+            site_id=site_id, delta=delta, staleness_action=staleness_action,
+            delta_overrides=delta_overrides, stats=stats,
+        )
+        self.vclock = vclock
+        self.context = zero_timestamp
+
+    # -- the rules ------------------------------------------------------------
+
+    def usable(self, entry: CacheEntry, now: Optional[float] = None) -> bool:
+        """No messages needed iff the entry is not old, its ending time has
+        not fallen causally behind Context_i, and (TCC only) its checking
+        time is within the object's delta of the local clock."""
+        if entry.old:
+            return False
+        if entry.version.omega_causally_before(self.context):
+            return False
+        if now is not None:
+            bound = self.delta_for(entry.version.obj)
+            if not math.isinf(bound):
+                beta = entry.version.beta or 0.0
+                if beta < now - bound:
+                    return False
+        return True
+
+    def lookup(self, obj: str, now: Optional[float] = None) -> ReadDecision:
+        """Classify a read (counting the decision's stats)."""
+        entry = self.cache.get(obj)
+        if entry is not None and self.usable(entry, now):
+            entry.hits += 1
+            self.stats.fresh_hits += 1
+            return ReadDecision("hit", value=entry.version.value)
+        if entry is not None:
+            self.stats.validations += 1
+            return ReadDecision("validate", alpha=entry.version.alpha)
+        self.stats.fetches += 1
+        return ReadDecision("fetch")
+
+    def sweep(self) -> None:
+        """Invalidate (or mark old) entries causally behind Context_i."""
+        for obj, entry in list(self.cache.items()):
+            if entry.old:
+                continue
+            if entry.version.omega_causally_before(self.context):
+                self._demote(obj, entry)
+
+    # -- local writes and server replies --------------------------------------
+
+    def local_write(
+        self, obj: str, value: Any, birth: float, fetched_at: float
+    ) -> LogicalVersion:
+        """A write as a local event: the vector clock ticks and the
+        version's start time is the new local timestamp (rule 2 adapted
+        to logical clocks: ``Context_i := alpha := local logical time``).
+        Local copies advance with the local logical clock and are never
+        invalidated by a local update (Section 5.3)."""
+        alpha = self.vclock.tick()
+        self.context = self.context.join(alpha)
+        version = LogicalVersion(
+            obj, value, alpha=alpha, omega=alpha, writer=self.site_id,
+            beta=birth, birth=birth,
+        )
+        for entry in self.cache.values():
+            entry.version.advance_omega(alpha)
+        self._store(version.copy(), fetched_at)
+        return version
+
+    def install_fetched(self, version: LogicalVersion, fetched_at: float) -> None:
+        """Rule 1 adapted: Context_i := join(alpha, Context_i); sweep.
+
+        The server already stamped ``omega = alpha join our_context`` (the
+        paper's "ending time not causally before Context_i" requirement),
+        so the check below only fires for pushes or for contexts that grew
+        while the request was in flight; such a version is accepted but
+        left with its smaller omega, so the next access revalidates it.
+        """
+        if version.omega.compare(self.context) is Ordering.BEFORE:
+            self.stats.fetch_check_failures += 1
+        self.vclock.merge(version.alpha)
+        self.context = self.context.join(version.alpha)
+        self.sweep()
+        self._store(version, fetched_at)
+
+    def apply_still_valid(
+        self, obj: str, omega: Any, beta: Optional[float]
+    ) -> "tuple[bool, Any]":
+        """A STILL_VALID reply: join the ending time, advance the
+        checking time, clear *old*; returns ``(found, cached value)``."""
+        entry = self.cache.get(obj)
+        if entry is None:
+            return False, None
+        entry.version.advance_omega(omega)
+        if beta is not None:
+            entry.version.advance_beta(beta)
+        entry.old = False
+        return True, entry.version.value
+
+    def apply_write_beta(self, obj: str, beta: Optional[float]) -> None:
+        """The server's checking time for an acknowledged write."""
+        entry = self.cache.get(obj)
+        if entry is not None and beta is not None:
+            entry.version.advance_beta(beta)
+
+    def apply_push(self, version: LogicalVersion, fetched_at: float) -> bool:
+        """A server push: install iff causally after what we hold."""
+        self.stats.pushes += 1
+        entry = self.cache.get(version.obj)
+        if entry is None or version.alpha.compare(entry.version.alpha) is Ordering.AFTER:
+            self.install_fetched(version, fetched_at)
+            return True
+        return False
+
+    def apply_invalidate(self, obj: str, alpha: Any) -> None:
+        """A server invalidation: demote if causally older."""
+        self.stats.push_invalidations += 1
+        entry = self.cache.get(obj)
+        if entry is not None and entry.version.alpha.compare(alpha) is Ordering.BEFORE:
+            self._demote(obj, entry)
+
+    # -- invariants -----------------------------------------------------------
+
+    def usable_snapshot(self, now: Optional[float] = None) -> Dict[str, LogicalVersion]:
+        """The versions this cache would serve right now, per object."""
+        return {
+            obj: entry.version
+            for obj, entry in self.cache.items()
+            if self.usable(entry, now)
+        }
+
+    def snapshot_mutually_consistent(self, now: Optional[float] = None) -> bool:
+        """Section 5.1's invariant under logical lifetimes: no usable
+        entry's start time is causally after another's ending time (their
+        lifetimes overlap in the causal order, possibly concurrently)."""
+        versions = list(self.usable_snapshot(now).values())
+        for a in versions:
+            for b in versions:
+                if a is b:
+                    continue
+                if b.omega.compare(a.alpha) is Ordering.BEFORE:
+                    return False
+        return True

@@ -1,0 +1,40 @@
+"""The exactly-once reply cache (server half of request dedup)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+
+class ReplyCache:
+    """An LRU of ``(client_id, req) -> reply frame`` — the server half of
+    exactly-once request semantics.
+
+    A client retransmits under the *same* request id; looking the id up
+    here turns re-execution into replay, so a write whose ack was lost
+    is installed once and every retransmission returns the original
+    ``alpha`` (each write keeps one effective time ``T(w)``, Definition 1).
+    Keyed by ``client_id`` rather than the connection so the replay
+    survives a reconnect.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[int, int], Dict[str, Any]]" = OrderedDict()
+
+    def get(self, key: Tuple[int, int]) -> Optional[Dict[str, Any]]:
+        reply = self._entries.get(key)
+        if reply is not None:
+            self._entries.move_to_end(key)
+        return reply
+
+    def put(self, key: Tuple[int, int], reply: Dict[str, Any]) -> None:
+        self._entries[key] = reply
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,9 +1,11 @@
 """The TCP cache client: the lifetime rules of Sections 5.1-5.2, live.
 
 :class:`NetCacheClient` is the transport twin of the simulator's
-``TimedCacheClient`` and of ``repro.sim.aio.AioTimedCacheClient``: the
-same cache structure (versions with lifetimes, ``Context_i``, *old*
-entries) over a real socket and an approximately synchronized clock.
+``TimedCacheClient`` and of ``repro.sim.aio.AioTimedCacheClient``: all
+three drive the same :class:`repro.engine.CacheEngine` — the cache
+structure (versions with lifetimes, ``Context_i``, *old* entries) and
+every freshness judgement live there; this class owns the socket, the
+synchronized clock, request ids, retransmission, and trace recording.
 
 Two freshness modes:
 
@@ -41,6 +43,7 @@ import math
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
+from repro.engine import CacheEngine
 from repro.net.clocksync import SyncedClock
 from repro.net.faults import FaultInjector
 from repro.net.framing import (
@@ -141,8 +144,6 @@ class NetCacheClient:
         up to ``batch`` items, amortizing framing and the server's
         log-before-ack fsync.  Each write still receives its own
         server-assigned effective time."""
-        if delta < 0:
-            raise ValueError(f"delta must be non-negative, got {delta}")
         if mode not in FRESHNESS_MODES:
             raise ValueError(f"mode must be one of {FRESHNESS_MODES}, got {mode!r}")
         if request_timeout <= 0:
@@ -160,7 +161,6 @@ class NetCacheClient:
         self.client_id = client_id
         self.host = host
         self.port = port
-        self.delta = delta
         self.mode = mode
         self.recorder = recorder
         self.faults = faults
@@ -170,9 +170,10 @@ class NetCacheClient:
         self.max_retries = max_retries
         self.backoff = backoff
         self.clock = clock if clock is not None else SyncedClock(skew=skew)
-        self.cache: Dict[str, CacheEntry] = {}
-        self.context = 0.0
         self.stats = ClientStats()
+        self.engine = CacheEngine(
+            site_id=client_id, delta=delta, stats=self.stats
+        )
         self.conn: Optional[FrameConnection] = None
         # Cluster awareness: the highest ring epoch any server frame has
         # carried (0 for a standalone server), a subscriber called on
@@ -202,6 +203,30 @@ class NetCacheClient:
         self.pipeline = None
         if registry is not None:
             self._bind_metrics(metric_labels or {})
+
+    # -- engine state, exposed under the pre-refactor names --------------------
+
+    @property
+    def cache(self) -> Dict[str, CacheEntry]:
+        return self.engine.cache
+
+    @property
+    def context(self) -> float:
+        return self.engine.context
+
+    @context.setter
+    def context(self, value: float) -> None:
+        self.engine.context = value
+
+    @property
+    def delta(self) -> float:
+        return self.engine.delta
+
+    @delta.setter
+    def delta(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"delta must be non-negative, got {value}")
+        self.engine.delta = value
 
     def _bind_metrics(self, extra: Dict[str, Any]) -> None:
         from repro.obs.bridge import bind_client_stats
@@ -366,74 +391,53 @@ class NetCacheClient:
         """This client's contribution to Definition 2's ``epsilon``."""
         return self.clock.epsilon_bound
 
-    # -- the lifetime rules ---------------------------------------------------
+    # -- the lifetime rules (the engine's; thin aliases) -----------------------
 
     def _advance_context(self, candidate: float) -> None:
-        """Rules 1-3's common clause: raise ``Context_i``, demote entries
-        whose known lifetime ended before it."""
-        if candidate <= self.context:
-            return
-        self.context = candidate
-        for entry in self.cache.values():
-            if entry.version.omega < self.context and not entry.old:
-                entry.mark_old()
-                self.stats.marked_old += 1
-
-    def _usable(self, entry: CacheEntry) -> bool:
-        return not entry.old and entry.version.omega >= self.context
+        """Rules 1-3's common clause — see
+        :meth:`repro.engine.CacheEngine.advance_context`."""
+        self.engine.advance_context(candidate)
 
     def _install(self, version: PhysicalVersion) -> None:
-        """Rule 1: Context_i := max(alpha, Context_i); sweep; store."""
-        if version.omega < self.context:
-            # Sound to accept: writes are synchronous (see the design
-            # notes in repro.protocol.cache_client).
-            self.stats.fetch_check_failures += 1
-            version.advance_omega(self.context)
-        self._advance_context(version.alpha)
-        entry = self.cache.get(version.obj)
-        if entry is None:
-            self.cache[version.obj] = CacheEntry(version, fetched_at=self.now())
-        else:
-            entry.refresh(version, self.now())
+        """Rule 1 — see :meth:`repro.engine.CacheEngine.install_fetched`."""
+        self.engine.install_fetched(version, self.now())
 
     async def read(self, obj: str) -> Any:
         """Read ``obj`` under the mode's freshness rule."""
         self.stats.reads += 1
-        if self.mode == "pull" and not math.isinf(self.delta):
-            # Rule 3, against the synchronized clock.
-            self._advance_context(self.now() - self.delta)
-        entry = self.cache.get(obj)
-        if entry is not None and self._usable(entry):
-            entry.hits += 1
-            self.stats.fresh_hits += 1
+        if self.mode == "pull":
+            # Rule 3, against the synchronized clock (no-op when delta
+            # is infinite); push mode trusts the server's pushes.
+            self.engine.rule3(self.now())
+        # ``now=None``: the per-read delta bound is not re-checked here —
+        # pull mode enforces delta through rule 3 alone, push mode
+        # through the pushes (see the module docstring).
+        decision = self.engine.lookup(obj, None)
+        if decision.hit:
             self.stats.read_latencies.append(0.0)
-            self._record_read(obj, entry.version.value, start=self.now())
-            return entry.version.value
+            self._record_read(obj, decision.value, start=self.now())
+            return decision.value
         started = self.now()
-        if entry is not None:
-            self.stats.validations += 1
+        if decision.action == "validate":
             reply = await self._request({
-                "kind": messages.VALIDATE, "obj": obj, "alpha": entry.version.alpha,
+                "kind": messages.VALIDATE, "obj": obj, "alpha": decision.alpha,
             })
             if reply.get("kind") == messages.STILL_VALID:
-                entry.version.advance_omega(float(reply["omega"]))
-                entry.old = False
+                _, value = self.engine.apply_still_valid(obj, float(reply["omega"]))
                 self.stats.revalidated += 1
-                value = entry.version.value
             elif reply.get("kind") == messages.VERSION:
                 version = _version_from(reply)
-                self._install(version)
+                self.engine.install_fetched(version, self.now())
                 self.stats.refreshed += 1
                 value = version.value
             else:
                 raise ProtocolError(f"bad validate reply: {reply!r}")
         else:
-            self.stats.fetches += 1
             reply = await self._request({"kind": messages.FETCH, "obj": obj})
             if reply.get("kind") != messages.VERSION:
                 raise ProtocolError(f"bad fetch reply: {reply!r}")
             version = _version_from(reply)
-            self._install(version)
+            self.engine.install_fetched(version, self.now())
             value = version.value
         self.stats.read_latencies.append(self.now() - started)
         self._record_read(obj, value, start=started)
@@ -445,14 +449,7 @@ class NetCacheClient:
         """The local half of a completed write: Rule 2, cache install,
         trace record.  Shared by the single, batched, and coalesced
         write paths."""
-        version = PhysicalVersion(obj, value, alpha, alpha, self.client_id)
-        # Rule 2: Context_i := the write's install time.
-        self._advance_context(alpha)
-        entry = self.cache.get(obj)
-        if entry is None:
-            self.cache[obj] = CacheEntry(version, fetched_at=self.now())
-        else:
-            entry.refresh(version, self.now())
+        self.engine.apply_write_ack(obj, value, alpha, self.now())
         if self.recorder is not None:
             self.recorder.record_write(
                 self.client_id, obj, value, alpha, start=started, end=self.now()
@@ -566,34 +563,28 @@ class NetCacheClient:
         if not wanted:
             return {}
         self.stats.reads += len(wanted)
-        if self.mode == "pull" and not math.isinf(self.delta):
-            self._advance_context(self.now() - self.delta)  # Rule 3, once
+        if self.mode == "pull":
+            self.engine.rule3(self.now())  # Rule 3, once for the batch
         out: Dict[str, Any] = {}
-        remote: List[str] = []
+        remote: List[Tuple[str, Any]] = []  # (obj, decision)
         for obj in wanted:
-            entry = self.cache.get(obj)
-            if entry is not None and self._usable(entry):
-                entry.hits += 1
-                self.stats.fresh_hits += 1
+            decision = self.engine.lookup(obj, None)
+            if decision.hit:
                 self.stats.read_latencies.append(0.0)
-                self._record_read(obj, entry.version.value, start=self.now())
-                out[obj] = entry.version.value
+                self._record_read(obj, decision.value, start=self.now())
+                out[obj] = decision.value
             else:
-                remote.append(obj)
+                remote.append((obj, decision))
         if not remote:
             return out
         started = self.now()
-        items = []
-        validated = set()
-        for obj in remote:
-            entry = self.cache.get(obj)
-            if entry is not None:
-                self.stats.validations += 1
-                validated.add(obj)
-                items.append({"obj": obj, "alpha": entry.version.alpha})
-            else:
-                self.stats.fetches += 1
-                items.append({"obj": obj, "alpha": None})
+        items = [
+            {"obj": obj, "alpha": decision.alpha}  # alpha None = cold fetch
+            for obj, decision in remote
+        ]
+        validated = {
+            obj for obj, decision in remote if decision.action == "validate"
+        }
         reply = await self._request({
             "kind": messages.VALIDATE_BATCH, "items": items,
         })
@@ -604,16 +595,13 @@ class NetCacheClient:
             raise ProtocolError(f"validate-batch ack shape mismatch: {reply!r}")
         if self.pipeline is not None:
             self.pipeline.on_batch(len(remote))
-        for obj, result in zip(remote, results):
+        for (obj, _), result in zip(remote, results):
             if result.get("kind") == messages.STILL_VALID:
-                entry = self.cache[obj]
-                entry.version.advance_omega(float(result["omega"]))
-                entry.old = False
+                _, value = self.engine.apply_still_valid(obj, float(result["omega"]))
                 self.stats.revalidated += 1
-                value = entry.version.value
             elif result.get("kind") == messages.VERSION:
                 version = _version_from(result)
-                self._install(version)
+                self.engine.install_fetched(version, self.now())
                 if obj in validated:
                     self.stats.refreshed += 1
                 value = version.value
@@ -628,22 +616,14 @@ class NetCacheClient:
 
     def _on_push(self, frame: Dict[str, Any]) -> None:
         version = _version_from(frame)
-        self.stats.pushes += 1
         if self._push_lag is not None:
             lag = self.now() - version.alpha
             if lag >= 0.0:
                 self._push_lag.observe(lag)
-        entry = self.cache.get(version.obj)
-        if entry is None or version.alpha > entry.version.alpha:
-            self._install(version)
+        self.engine.apply_push(version, self.now())
 
     def _on_invalidate(self, frame: Dict[str, Any]) -> None:
-        self.stats.push_invalidations += 1
-        entry = self.cache.get(str(frame["obj"]))
-        if entry is not None and entry.version.alpha < float(frame["alpha"]):
-            if not entry.old:
-                entry.mark_old()
-                self.stats.marked_old += 1
+        self.engine.apply_invalidate(str(frame["obj"]), float(frame["alpha"]))
 
     # -- cluster awareness ------------------------------------------------------
 

@@ -16,6 +16,16 @@
 * ``push`` / ``invalidate``          (server-initiated propagation to
   subscribed clients, per the ``propagation`` policy).
 
+The protocol itself — install logic, currency checks, the exactly-once
+reply cache, ring-epoch adoption, the promotion rule — lives in the
+transport-free :class:`repro.engine.ServerEngine`; this class is the TCP
+*driver*: it owns the sockets, the asyncio lock, the in-flight
+accounting and busy shedding, the durable store, and the propagation
+fan-out, and turns each :class:`~repro.engine.effects.EngineResult` into
+wire effects in order (WAL append, reply, pushes).  The simulator's
+``PhysicalServer`` drives the *same* engine, which is what the
+conformance suite asserts.
+
 Requests are executed **exactly once**: a per-client LRU reply cache
 keyed ``(client_id, req)`` replays answered requests, so a write whose
 ack was lost is installed once and every retransmission returns the
@@ -50,10 +60,11 @@ sharding seam a multi-server deployment will plug into.
 from __future__ import annotations
 
 import asyncio
-from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.clocks.rebase import RebasedClock
+from repro.engine import ReplyCache, ServerEngine, version_payload  # noqa: F401
+from repro.engine.effects import EngineResult
 from repro.net.faults import FaultInjector
 from repro.net.framing import (
     BUSY,
@@ -84,51 +95,6 @@ from repro.sim.trace import TraceRecorder
 
 #: Propagation policies: what the server does after installing a write.
 PROPAGATION_POLICIES = ("push", "invalidate", "none")
-
-
-def version_payload(version: PhysicalVersion) -> Dict[str, Any]:
-    """The JSON-scalar fields of a version frame."""
-    return {
-        "obj": version.obj,
-        "value": version.value,
-        "alpha": version.alpha,
-        "omega": version.omega,
-        "writer": version.writer,
-    }
-
-
-class ReplyCache:
-    """An LRU of ``(client_id, req) -> reply frame`` — the server half of
-    exactly-once request semantics.
-
-    A client retransmits under the *same* request id; looking the id up
-    here turns re-execution into replay, so a write whose ack was lost
-    is installed once and every retransmission returns the original
-    ``alpha`` (each write keeps one effective time ``T(w)``, Definition 1).
-    Keyed by ``client_id`` rather than the connection so the replay
-    survives a reconnect.
-    """
-
-    def __init__(self, capacity: int = 1024) -> None:
-        if capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity}")
-        self.capacity = capacity
-        self._entries: "OrderedDict[Tuple[int, int], Dict[str, Any]]" = OrderedDict()
-
-    def get(self, key: Tuple[int, int]) -> Optional[Dict[str, Any]]:
-        reply = self._entries.get(key)
-        if reply is not None:
-            self._entries.move_to_end(key)
-        return reply
-
-    def put(self, key: Tuple[int, int], reply: Dict[str, Any]) -> None:
-        self._entries[key] = reply
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-
-    def __len__(self) -> int:
-        return len(self._entries)
 
 
 class NetObjectServer:
@@ -189,39 +155,29 @@ class NetObjectServer:
         self.recorder = recorder
         self.clock = clock if clock is not None else RebasedClock()
         self.fault_factory = fault_factory
-        self.store: Dict[str, PhysicalVersion] = {}
+        self.engine = ServerEngine(
+            self.clock, initial_value=initial_value,
+            reply_cache_size=reply_cache_size,
+        )
         self.durable = store
         self.recovered: Optional[Any] = None
-        self.recovered_old: Set[str] = set()
-        self.revalidations = 0
-        self.context = 0.0
-        # Cluster plumbing (repro.cluster; docs/CLUSTER.md).  ``epoch``
-        # is the monotone ring-layout version this server acknowledges;
-        # 0 means "no cluster" and keeps every reply epoch-free, so a
-        # standalone server's wire traffic is byte-identical to before.
-        self.epoch = 0
-        self.ring: Optional[Dict[str, Any]] = None  #: serialized Ring of ``epoch``
         self.agent: Optional[Any] = None  #: attached cluster SwimAgent
-        self.promotions = 0
+        if store is not None:
+            self.engine.on_revalidation = self._on_store_revalidation
         self._lock = asyncio.Lock()
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: Set[FrameConnection] = set()
         self._subscribers: Dict[FrameConnection, int] = {}
-        self.requests = 0
         self.requests_by_kind: Dict[str, int] = {}
         self.connections_accepted = 0
         self.pushes_sent = 0
         self.invalidations_sent = 0
-        # Exactly-once machinery: the reply cache replays answered
-        # requests; _executing parks a duplicate that races its original
-        # (the duplicate awaits the original's reply future).
+        # Exactly-once machinery: the engine's reply cache replays
+        # answered requests; _executing parks a duplicate that races its
+        # original (the duplicate awaits the original's reply future).
         self.inflight_limit = inflight_limit
-        self.replies = ReplyCache(reply_cache_size)
         self._executing: Dict[Tuple[int, int], asyncio.Future] = {}
-        self.dedup_replays = 0
         self.busy_sent = 0
-        self.batch_frames = 0
-        self.batched_writes = 0
         # Frame/byte totals of connections that already closed; live
         # connections are summed at scrape time.
         self._closed_frames = {"sent": 0, "received": 0}
@@ -246,6 +202,72 @@ class NetObjectServer:
             )
             self.pipeline.bind_outstanding(lambda: self._inflight)
 
+    def _on_store_revalidation(self) -> None:
+        if self.durable is not None and self.durable.instruments is not None:
+            self.durable.instruments.on_revalidation()
+
+    # -- engine state, exposed under the pre-refactor names --------------------
+
+    @property
+    def store(self) -> Dict[str, PhysicalVersion]:
+        return self.engine.store
+
+    @property
+    def context(self) -> float:
+        return self.engine.context
+
+    @context.setter
+    def context(self, value: float) -> None:
+        self.engine.context = value
+
+    @property
+    def recovered_old(self) -> Set[str]:
+        return self.engine.recovered_old
+
+    @recovered_old.setter
+    def recovered_old(self, value: Set[str]) -> None:
+        self.engine.recovered_old = value
+
+    @property
+    def revalidations(self) -> int:
+        return self.engine.revalidations
+
+    @property
+    def epoch(self) -> int:
+        return self.engine.epoch
+
+    @epoch.setter
+    def epoch(self, value: int) -> None:
+        self.engine.epoch = value
+
+    @property
+    def ring(self) -> Optional[Dict[str, Any]]:
+        return self.engine.ring
+
+    @property
+    def promotions(self) -> int:
+        return self.engine.promotions
+
+    @property
+    def requests(self) -> int:
+        return self.engine.requests
+
+    @property
+    def replies(self) -> ReplyCache:
+        return self.engine.replies
+
+    @property
+    def dedup_replays(self) -> int:
+        return self.engine.dedup_replays
+
+    @property
+    def batch_frames(self) -> int:
+        return self.engine.batch_frames
+
+    @property
+    def batched_writes(self) -> int:
+        return self.engine.batched_writes
+
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> "NetObjectServer":
@@ -257,16 +279,16 @@ class NetObjectServer:
             # latest-write-wins race against its own recovered past).
             recovered = self.durable.open()
             self.recovered = recovered
-            self.store.update(recovered.objects)
-            self.context = recovered.context
-            self.recovered_old = set(recovered.old_objects)
+            self.engine.store.update(recovered.objects)
+            self.engine.context = recovered.context
+            self.engine.recovered_old = set(recovered.old_objects)
             self.clock()  # pin the timescale's zero to server start
             if isinstance(self.clock, RebasedClock):
                 self.clock.offset += recovered.resume_time
             # Resume the last acknowledged ring epoch: the server must
             # never answer with an epoch older than one it persisted, or
             # routers would trust a layout the cluster already left.
-            self.epoch = max(self.epoch, recovered.ring_epoch)
+            self.engine.epoch = max(self.engine.epoch, recovered.ring_epoch)
         else:
             self.clock()  # pin the timescale's zero to server start
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
@@ -320,7 +342,9 @@ class NetObjectServer:
             # acknowledged write fsynced, a final snapshot marked clean —
             # the next start loads it and replays nothing.
             async with self._lock:
-                self.durable.close_clean(self.store, self.context, self.clock())
+                self.durable.close_clean(
+                    self.engine.store, self.engine.context, self.clock()
+                )
         for conn in list(self._connections):
             try:
                 await conn.send({"kind": BYE, "reason": "server shutdown"})
@@ -437,59 +461,27 @@ class NetObjectServer:
     # -- the cluster control plane (repro.cluster; docs/CLUSTER.md) -----------
 
     def _stamped(self, reply: Dict[str, Any]) -> Dict[str, Any]:
-        """Stamp a reply with this server's ring epoch — the staleness
-        signal routers act on.  Epoch 0 (standalone server) stamps
-        nothing, keeping the legacy wire format byte-identical."""
-        if self.epoch <= 0 or "epoch" in reply:
-            return reply
-        return {**reply, "epoch": self.epoch}
+        """Stamp a reply with this server's ring epoch at send time."""
+        return self.engine.stamp(reply)
 
     def set_ring(self, ring_dict: Dict[str, Any], *, persist: bool = True) -> bool:
         """Adopt a serialized ring iff its epoch is not behind ours;
         persists the acknowledged epoch into ``meta.json`` so a restart
         never resumes trusting a layout the cluster moved past."""
-        epoch = int(ring_dict.get("epoch", 0))
-        if epoch < self.epoch or (epoch == self.epoch and self.ring is not None):
-            return False
-        self.ring = dict(ring_dict)
-        self.epoch = epoch
-        if persist and self.durable is not None:
-            self.durable.save_epoch(epoch)
-        return True
+        adopted = self.engine.adopt_ring(ring_dict)
+        if adopted and persist and self.durable is not None:
+            self.durable.save_epoch(self.engine.epoch)
+        return adopted
 
     async def promote(self, bound: float) -> Dict[str, Any]:
-        """Become write authority for partitions a dead primary held.
-
-        The paper's single-authority argument, in the exact shape of
-        store recovery (:mod:`repro.store.recovery`) with the *detection
-        bound* playing Δ: the new primary cannot know what the dead one
-        acknowledged during the last ``bound`` seconds, so
-
-        1. ``Context := max(known, t_promote − bound)`` — it never
-           claims a context older than its blind window allows;
-        2. every version whose checking time predates ``t_promote −
-           bound`` is marked **old** and re-proved on first touch by
-           :meth:`_current` (each re-proof counts a revalidation).
-
-        Versions the dying primary acknowledged but never replicated
-        are surfaced by its WAL at merge time (``history_from_wal``),
-        which is what the failover checker test verifies.
-        """
+        """Become write authority for partitions a dead primary held —
+        the engine's promotion rule (store recovery with the detection
+        bound playing Δ; see :meth:`repro.engine.ServerEngine.promote`),
+        run under the server lock."""
         if bound < 0:
             raise ValueError(f"bound must be non-negative, got {bound}")
         async with self._lock:
-            t_promote = self.clock()
-            floor = t_promote - bound
-            self.context = max(self.context, floor)
-            marked = {
-                obj for obj, version in self.store.items()
-                if version.omega < floor
-            }
-            self.recovered_old |= marked
-            self.promotions += 1
-            return {
-                "t": t_promote, "context": self.context, "old": len(marked),
-            }
+            return self.engine.promote(bound)
 
     async def _on_cluster(
         self, conn: FrameConnection, frame: Dict[str, Any]
@@ -500,7 +492,7 @@ class NetObjectServer:
         if kind == RING_FETCH:
             await conn.send({
                 "kind": RING_STATE, "req": req,
-                "epoch": self.epoch, "ring": self.ring,
+                "epoch": self.engine.epoch, "ring": self.engine.ring,
             })
             return
         if kind == CLUSTER_STATE:
@@ -509,7 +501,7 @@ class NetObjectServer:
                 view = self.agent.view.as_dict()
             await conn.send({
                 "kind": CLUSTER_VIEW, "req": req,
-                "epoch": self.epoch, "view": view,
+                "epoch": self.engine.epoch, "view": view,
             })
             return
         if kind == PROMOTE:
@@ -521,7 +513,7 @@ class NetObjectServer:
                 self.agent.on_promoted(frame, outcome)
             await conn.send({
                 "kind": PROMOTE_ACK, "req": req,
-                "epoch": self.epoch, **outcome,
+                "epoch": self.engine.epoch, **outcome,
             })
             return
         if self.agent is not None and kind in (PING, PING_REQ, HANDOFF):
@@ -566,21 +558,19 @@ class NetObjectServer:
         kind = str(frame.get("kind"))
         self.requests_by_kind[kind] = self.requests_by_kind.get(kind, 0) + 1
         req = frame.get("req")
-        key: Optional[Tuple[int, int]] = None
-        if req is not None and kind in messages.DEDUP_KINDS:
-            key = (client_id, int(req))
-            cached = self.replies.get(key)
+        key = self.engine.dedup_key(client_id, frame)
+        if key is not None:
+            cached = self.engine.replay(key)
             if cached is not None:
                 # A retransmission of an answered request: replay the
                 # original reply (same alpha), execute nothing.
-                self.dedup_replays += 1
                 await conn.send(self._stamped(cached))
                 return
             original = self._executing.get(key)
             if original is not None:
                 # The retransmission raced its original, which is still
                 # executing: wait for that reply and replay it.
-                self.dedup_replays += 1
+                self.engine.dedup_replays += 1
                 try:
                     reply = await asyncio.shield(original)
                 except (asyncio.CancelledError, Exception):
@@ -602,12 +592,12 @@ class NetObjectServer:
         try:
             if self.latency:
                 await asyncio.sleep(self.latency)
-            reply, installed = await self._execute(client_id, frame, kind)
-            # Cache before sending: if the ack is lost on a dying
-            # connection, the retransmit (possibly after a reconnect)
-            # must still replay rather than re-execute.
+            result = await self._execute(client_id, frame)
+            reply = result.reply
+            # The engine cached the reply before we send: if the ack is
+            # lost on a dying connection, the retransmit (possibly after
+            # a reconnect) still replays rather than re-executes.
             if key is not None and reply.get("kind") != ERROR:
-                self.replies.put(key, reply)
                 original = self._executing.pop(key)
                 if not original.done():
                     original.set_result(reply)
@@ -615,7 +605,7 @@ class NetObjectServer:
             # advanced between execution and a much later replay, and the
             # retransmitting router deserves the *current* epoch.
             await conn.send(self._stamped(reply))
-            for version in installed:
+            for version in result.installed:
                 if self.recorder is not None:
                     self.recorder.record_write(
                         client_id, version.obj, version.value, version.alpha
@@ -629,170 +619,29 @@ class NetObjectServer:
             if self._inflight == 0:
                 self._idle.set()
 
-    async def _execute(
-        self, client_id: int, frame: Dict[str, Any], kind: str
-    ) -> Tuple[Dict[str, Any], List[PhysicalVersion]]:
-        """Run one request; returns ``(reply, installed versions)``.
-        Side effects happen exactly once — replays never reach here."""
-        if kind == messages.FETCH:
-            return await self._on_fetch(frame), []
-        if kind == messages.VALIDATE:
-            return await self._on_validate(frame), []
-        if kind == messages.WRITE:
-            return await self._on_write(client_id, frame)
-        if kind == messages.WRITE_BATCH:
-            return await self._on_write_batch(client_id, frame)
-        if kind == messages.VALIDATE_BATCH:
-            return await self._on_validate_batch(frame), []
-        return {
-            "kind": ERROR,
-            "error": f"unknown message kind {kind!r}",
-            "req": frame.get("req"),
-        }, []
-
-    # -- the lifetime protocol, server side ------------------------------------
-
-    def _current(self, obj: str) -> PhysicalVersion:
-        """The stored version, its ending time advanced to "now" (the
-        server has just observed it to still be current)."""
-        if obj not in self.store:
-            self.store[obj] = PhysicalVersion(
-                obj, self.initial_value, alpha=0.0, omega=0.0, writer=-1
-            )
-        version = self.store[obj]
-        if obj in self.recovered_old:
-            # Recovered-old version, first touch since the restart: the
-            # server is the object's single write authority and every
-            # acknowledged write was WAL-logged before its ack, so the
-            # replay was complete and nothing changed during the blind
-            # window — this touch re-proves the version current and the
-            # advance below becomes its new checking time.
-            self.recovered_old.discard(obj)
-            self.revalidations += 1
-            if self.durable is not None and self.durable.instruments is not None:
-                self.durable.instruments.on_revalidation()
-        version.advance_omega(self.clock())
-        return version
-
-    async def _on_fetch(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+    async def _execute(self, client_id: int, frame: Dict[str, Any]) -> EngineResult:
+        """Run one request through the engine under the server lock,
+        carrying out its durability effect (log before the ack leaves
+        the lock: an acknowledged write is always in the WAL, which is
+        what makes the recovery replay complete — batches amortize the
+        append and its fsync)."""
         async with self._lock:
-            self.requests += 1
-            version = self._current(str(frame["obj"])).copy()
-        return {
-            "kind": messages.VERSION, "req": frame.get("req"),
-            **version_payload(version),
-        }
-
-    def _validate_result(self, obj: str, alpha: Any) -> Dict[str, Any]:
-        """One if-modified-since judgement (caller holds the lock)."""
-        version = self._current(obj)
-        if version.alpha == alpha:
-            return {
-                "kind": messages.STILL_VALID, "obj": obj, "omega": version.omega,
-            }
-        return {"kind": messages.VERSION, **version_payload(version.copy())}
-
-    async def _on_validate(self, frame: Dict[str, Any]) -> Dict[str, Any]:
-        async with self._lock:
-            self.requests += 1
-            reply = self._validate_result(str(frame["obj"]), frame.get("alpha"))
-        reply["req"] = frame.get("req")
-        return reply
-
-    def _install(
-        self, obj: str, value: Any, client_id: int
-    ) -> PhysicalVersion:
-        """Stamp and install one write (caller holds the lock; the WAL
-        append is the caller's, so batches can amortize it)."""
-        install_time = self.clock()
-        version = PhysicalVersion(obj, value, install_time, install_time, client_id)
-        current = self.store.get(obj)
-        if current is None or install_time > current.alpha:
-            self.store[obj] = version.copy()
-            self.context = max(self.context, install_time)
-            self.recovered_old.discard(obj)  # overwritten, not stale
-        return version
-
-    async def _on_write(
-        self, client_id: int, frame: Dict[str, Any]
-    ) -> Tuple[Dict[str, Any], List[PhysicalVersion]]:
-        obj = str(frame["obj"])
-        value = frame["value"]
-        async with self._lock:
-            self.requests += 1
-            version = self._install(obj, value, client_id)
-            if self.durable is not None:
-                # Log before the ack leaves this block: an acknowledged
-                # write is always in the WAL, which is what makes the
-                # recovery replay complete.
-                self.durable.log_write(version)
+            result = self.engine.execute(client_id, frame)
+            if self.durable is not None and result.wal:
+                if len(result.wal) == 1:
+                    self.durable.log_write(result.wal[0])
+                else:
+                    self.durable.log_writes(result.wal)
                 self.durable.maybe_snapshot(
-                    self.store, self.context, version.alpha
+                    self.engine.store, self.engine.context, result.wal[-1].alpha
                 )
-        reply = {
-            "kind": messages.WRITE_ACK, "req": frame.get("req"),
-            "obj": obj, "alpha": version.alpha,
-        }
-        return reply, [version]
-
-    async def _on_write_batch(
-        self, client_id: int, frame: Dict[str, Any]
-    ) -> Tuple[Dict[str, Any], List[PhysicalVersion]]:
-        """Install a batch of writes under one lock acquisition and one
-        WAL append (one fsync under ``fsync=always``); per-item acks in
-        item order.  Each item still gets its own strictly-later install
-        time from the monotone clock — batching amortizes cost, it does
-        not merge effective times."""
-        writes = frame.get("writes")
-        if not isinstance(writes, list) or not writes:
-            return {
-                "kind": ERROR, "req": frame.get("req"),
-                "error": "write-batch needs a non-empty 'writes' list",
-            }, []
-        self.batch_frames += 1
-        self.batched_writes += len(writes)
         if self.pipeline is not None:
-            self.pipeline.on_batch(len(writes))
-        installed: List[PhysicalVersion] = []
-        async with self._lock:
-            self.requests += len(writes)
-            for item in writes:
-                installed.append(
-                    self._install(str(item["obj"]), item["value"], client_id)
-                )
-            if self.durable is not None:
-                self.durable.log_writes(installed)
-                self.durable.maybe_snapshot(
-                    self.store, self.context, installed[-1].alpha
-                )
-        reply = {
-            "kind": messages.WRITE_BATCH_ACK, "req": frame.get("req"),
-            "acks": [{"obj": v.obj, "alpha": v.alpha} for v in installed],
-        }
-        return reply, installed
-
-    async def _on_validate_batch(self, frame: Dict[str, Any]) -> Dict[str, Any]:
-        """Judge a batch of validations under one lock acquisition; a
-        null ``alpha`` always ships the full version (bulk refresh)."""
-        items = frame.get("items")
-        if not isinstance(items, list) or not items:
-            return {
-                "kind": ERROR, "req": frame.get("req"),
-                "error": "validate-batch needs a non-empty 'items' list",
-            }
-        self.batch_frames += 1
-        if self.pipeline is not None:
-            self.pipeline.on_batch(len(items))
-        async with self._lock:
-            self.requests += len(items)
-            results = [
-                self._validate_result(str(item["obj"]), item.get("alpha"))
-                for item in items
-            ]
-        return {
-            "kind": messages.VALIDATE_BATCH_ACK, "req": frame.get("req"),
-            "results": results,
-        }
+            kind = result.reply.get("kind")
+            if kind == messages.WRITE_BATCH_ACK:
+                self.pipeline.on_batch(len(result.reply["acks"]))
+            elif kind == messages.VALIDATE_BATCH_ACK:
+                self.pipeline.on_batch(len(result.reply["results"]))
+        return result
 
     async def _propagate(
         self, writer_conn: FrameConnection, version: PhysicalVersion

@@ -12,6 +12,13 @@ Section 5.3: lifetimes and ``Context_i`` are vector timestamps, and the
 TCC upgrade adds the *checking time* ``beta`` — a version whose ``beta``
 is older than ``t_i - delta`` must be revalidated before use.
 
+The protocol rules live in the transport-free cache engines of
+:mod:`repro.engine.cache`; the classes here are the *simulator drivers*:
+request ids, retransmission, pending-operation events, the trace
+recorder, and the translation between simulator messages and engine
+calls.  The TCP client (:class:`repro.net.client.NetCacheClient`) drives
+the same :class:`~repro.engine.CacheEngine`.
+
 Design notes (see DESIGN.md):
 
 * **Writes are synchronous**: a write completes when the object's server
@@ -35,17 +42,21 @@ Design notes (see DESIGN.md):
   the ground-truth simulation time at completion, and a write's effective
   time is the instant the server installed it — both inside the
   operation's execution interval, as Section 2 requires.
+* Writes go to the wire as ``{"obj", "value", "req"}`` scalars (the
+  server stamps the install time; a client-side stamp would be
+  discarded anyway), matching the TCP wire format.  ``write_many``
+  ships several writes in one ``WRITE_BATCH`` frame — the sim stack
+  shares the TCP stack's batching now that both drive the same engine.
 """
 
 from __future__ import annotations
 
-import enum
 import itertools
 import math
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.clocks.base import Ordering
 from repro.clocks.vector import VectorClock, VectorTimestamp
+from repro.engine import CacheEngine, CausalCacheEngine, StalenessAction  # noqa: F401
 from repro.protocol import messages
 from repro.protocol.server import ObjectDirectory
 from repro.protocol.stats import ClientStats
@@ -54,13 +65,6 @@ from repro.sim.kernel import Event, Simulator
 from repro.sim.network import Message, Network
 from repro.sim.node import Node
 from repro.sim.trace import TraceRecorder
-
-
-class StalenessAction(enum.Enum):
-    """What the Context rules do to an entry that fell behind."""
-
-    INVALIDATE = "invalidate"  # drop: next access is a full fetch
-    MARK_OLD = "mark-old"  # keep: next access validates (Section 5.2)
 
 
 class _PendingRead:
@@ -90,16 +94,30 @@ class _PendingWrite:
         self.resend = None  # set by _arm_retry
 
 
+class _PendingBatch:
+    """Bookkeeping for a write batch awaiting its per-item acks."""
+
+    __slots__ = ("writes", "event", "issued_at", "resend")
+
+    def __init__(
+        self, writes: List[Tuple[str, Any]], event: Event, issued_at: float
+    ):
+        self.writes = writes
+        self.event = event
+        self.issued_at = issued_at
+        self.resend = None  # set by _arm_retry
+
+
 class _RetryMixin:
     """Request retransmission for lossy networks.
 
     When ``retry_timeout`` is set, every outstanding request re-sends
-    itself until a reply arrives.  The same request id is reused, so a
-    duplicate reply simply finds no pending entry and is ignored (replies
-    are idempotent: VERSION installs are last-writer-wins, STILL_VALID
-    only advances ending times, and a duplicated WRITE re-installs the
-    same unique value with a later start time, which is indistinguishable
-    from the write having taken effect slightly later).
+    itself until a reply arrives.  The same request id is reused, and
+    the server's exactly-once reply cache turns the duplicate into a
+    replay of the original reply (same ``alpha``), so a retransmitted
+    write is never installed twice — even with several writes
+    outstanding, where the old one-deep per-client memo failed.  A
+    duplicate *reply* simply finds no pending entry and is ignored.
     """
 
     retry_timeout: Optional[float] = None
@@ -122,7 +140,8 @@ class _RetryMixin:
 
 class TimedCacheClient(Node, _RetryMixin):
     """Physical-clock lifetime cache: SC when ``delta`` is infinite,
-    TSC(delta) otherwise."""
+    TSC(delta) otherwise — the simulator driver over
+    :class:`repro.engine.CacheEngine`."""
 
     def __init__(
         self,
@@ -144,52 +163,78 @@ class TimedCacheClient(Node, _RetryMixin):
         revalidation of that object only; looser overrides relax it.
         """
         super().__init__(node_id, sim, network, clock)
-        if delta < 0:
-            raise ValueError(f"delta must be non-negative, got {delta}")
         if retry_timeout is not None and retry_timeout <= 0:
             raise ValueError(f"retry_timeout must be positive, got {retry_timeout}")
-        if delta_overrides and any(d < 0 for d in delta_overrides.values()):
-            raise ValueError("delta overrides must be non-negative")
         self.directory = directory
-        self.delta = delta
-        self.delta_overrides = dict(delta_overrides or {})
-        self.staleness_action = staleness_action
         self.recorder = recorder
         self.retry_timeout = retry_timeout
-        self.cache: Dict[str, CacheEntry] = {}
-        self.context = 0.0
         self.stats = ClientStats()
+        self.engine = CacheEngine(
+            site_id=node_id, delta=delta, staleness_action=staleness_action,
+            delta_overrides=delta_overrides, stats=self.stats,
+        )
         self._requests = itertools.count()
         self._pending: Dict[int, Any] = {}
 
+    # -- engine state, exposed under the pre-refactor names --------------------
+
+    @property
+    def cache(self) -> Dict[str, CacheEntry]:
+        return self.engine.cache
+
+    @property
+    def context(self) -> float:
+        return self.engine.context
+
+    @context.setter
+    def context(self, value: float) -> None:
+        self.engine.context = value
+
+    @property
+    def delta(self) -> float:
+        return self.engine.delta
+
+    @property
+    def delta_overrides(self) -> Dict[str, float]:
+        return self.engine.delta_overrides
+
+    @property
+    def staleness_action(self) -> StalenessAction:
+        return self.engine.staleness_action
+
     def delta_for(self, obj: str) -> float:
         """The freshness bound in force for ``obj``."""
-        return self.delta_overrides.get(obj, self.delta)
+        return self.engine.delta_for(obj)
+
+    def usable_snapshot(self) -> Dict[str, PhysicalVersion]:
+        """The versions this cache would serve right now, per object."""
+        return self.engine.usable_snapshot(self.local_time())
+
+    def snapshot_mutually_consistent(self) -> bool:
+        """Section 5.1's cache-consistency invariant (see
+        :meth:`repro.engine.CacheEngine.snapshot_mutually_consistent`)."""
+        return self.engine.snapshot_mutually_consistent(self.local_time())
 
     # -- public operation API ----------------------------------------------
 
     def read(self, obj: str) -> Event:
         """Start a read; the returned event succeeds with the value."""
         self.stats.reads += 1
-        self._apply_rule3()
-        entry = self.cache.get(obj)
+        self.engine.rule3(self.local_time())
+        decision = self.engine.lookup(obj, self.local_time())
         event = self.sim.event()
-        if entry is not None and self._usable(entry):
-            entry.hits += 1
-            self.stats.fresh_hits += 1
+        if decision.hit:
             self.stats.read_latencies.append(0.0)
-            self._record_read(obj, entry.version.value)
-            event.succeed(entry.version.value)
+            self._record_read(obj, decision.value)
+            event.succeed(decision.value)
             return event
         req = next(self._requests)
         issued = self.sim.now
-        if entry is not None:
-            self.stats.validations += 1
+        if decision.action == "validate":
             self._pending[req] = _PendingRead(obj, event, issued, True)
-            payload = {"obj": obj, "alpha": entry.version.alpha, "req": req}
+            payload = {"obj": obj, "alpha": decision.alpha, "req": req}
             send = lambda: self._send_server(obj, messages.VALIDATE, payload)
         else:
-            self.stats.fetches += 1
             self._pending[req] = _PendingRead(obj, event, issued, False)
             payload = {"obj": obj, "req": req}
             send = lambda: self._send_server(obj, messages.FETCH, payload)
@@ -202,79 +247,39 @@ class TimedCacheClient(Node, _RetryMixin):
         self.stats.writes += 1
         event = self.sim.event()
         req = next(self._requests)
-        issue_time = self.local_time()
         self._pending[req] = _PendingWrite(obj, value, event, self.sim.now)
-        payload = {
-            "version": PhysicalVersion(obj, value, issue_time, issue_time, self.node_id),
-            "req": req,
-        }
+        payload = {"obj": obj, "value": value, "req": req}
         send = lambda: self._send_server(obj, messages.WRITE, payload)
         send()
         self._arm_retry(req, send)
         return event
 
-    # -- protocol rules -----------------------------------------------------
+    def write_many(self, writes: List[Tuple[str, Any]]) -> Event:
+        """Start a batch of writes as one ``WRITE_BATCH`` frame; the
+        returned event succeeds with the list of install times.
 
-    def _apply_rule3(self) -> None:
-        """Rule 3 (Section 5.2): Context_i := max(t_i - delta, Context_i).
-
-        With per-object overrides the global advance uses the *loosest*
-        bound in force (tighter per-object bounds are enforced in
-        :meth:`_usable`), so a loose override is not defeated by the
-        global context."""
-        loosest = self.delta
-        if self.delta_overrides:
-            loosest = max(loosest, max(self.delta_overrides.values()))
-        if math.isinf(loosest):
-            return
-        self._advance_context(self.local_time() - loosest)
-
-    def _advance_context(self, candidate: float) -> None:
-        """Raise Context_i and demote every entry whose ending time fell
-        behind it (rule 1's invalidation clause)."""
-        if candidate <= self.context:
-            return
-        self.context = candidate
-        for obj, entry in list(self.cache.items()):
-            if entry.version.omega < self.context and not entry.old:
-                if self.staleness_action is StalenessAction.INVALIDATE:
-                    del self.cache[obj]
-                    self.stats.invalidations += 1
-                else:
-                    entry.mark_old()
-                    self.stats.marked_old += 1
-
-    def _usable(self, entry: CacheEntry) -> bool:
-        """May this cached version be returned with no messages?"""
-        if entry.old or entry.version.omega < self.context:
-            return False
-        bound = self.delta_for(entry.version.obj)
-        if not math.isinf(bound):
-            if entry.version.omega < self.local_time() - bound:
-                return False
-        return True
-
-    def usable_snapshot(self) -> Dict[str, PhysicalVersion]:
-        """The versions this cache would serve right now, per object."""
-        return {
-            obj: entry.version
-            for obj, entry in self.cache.items()
-            if self._usable(entry)
+        One frame, one server visit, per-item acks.  Caveat: the
+        simulator's clocks only advance between events, so every item in
+        the batch gets the *same* install stamp — batch distinct objects
+        (a same-object duplicate inside one frame loses the
+        latest-write-wins race).
+        """
+        if not writes:
+            raise ValueError("write_many needs at least one write")
+        self.stats.writes += len(writes)
+        self.stats.batched_writes += len(writes)
+        event = self.sim.event()
+        req = next(self._requests)
+        self._pending[req] = _PendingBatch(list(writes), event, self.sim.now)
+        payload = {
+            "writes": [{"obj": obj, "value": value} for obj, value in writes],
+            "req": req,
         }
-
-    def snapshot_mutually_consistent(self) -> bool:
-        """Section 5.1's cache-consistency invariant: the usable entries'
-        lifetimes pairwise overlap (max start time <= min ending time), so
-        all served values coexisted at some instant.  Holds by
-        construction — ``Context_i`` is the max start time ever seen and
-        usable entries have ``omega >= Context_i`` — and is asserted by
-        the tests as a protocol invariant."""
-        versions = list(self.usable_snapshot().values())
-        if not versions:
-            return True
-        max_alpha = max(v.alpha for v in versions)
-        min_omega = min(v.omega for v in versions)
-        return max_alpha <= min_omega
+        obj = writes[0][0]  # single-server sim: any object routes the frame
+        send = lambda: self._send_server(obj, messages.WRITE_BATCH, payload)
+        send()
+        self._arm_retry(req, send)
+        return event
 
     # -- message handling ----------------------------------------------------
 
@@ -284,7 +289,9 @@ class TimedCacheClient(Node, _RetryMixin):
         elif message.kind == messages.STILL_VALID:
             self._on_still_valid(message)
         elif message.kind == messages.WRITE_ACK:
-            self._on_write_ack(message)
+            self._on_ack(message)
+        elif message.kind == messages.WRITE_BATCH_ACK:
+            self._on_batch_ack(message)
         elif message.kind == messages.PUSH:
             self._on_push(message)
         elif message.kind == messages.INVALIDATE:
@@ -295,41 +302,21 @@ class TimedCacheClient(Node, _RetryMixin):
     def _on_version(self, message: Message) -> None:
         version: PhysicalVersion = message.payload["version"]
         pending = self._pending.pop(message.payload.get("req"), None)
-        self._install_fetched(version)
+        self.engine.install_fetched(version, self.sim.now)
         if pending is not None:
             if pending.was_validation:
                 self.stats.refreshed += 1
             self._complete_read(pending, version.value)
 
-    def _install_fetched(self, version: PhysicalVersion) -> None:
-        """Rule 1: Context_i := max(alpha, Context_i); sweep; store."""
-        if version.omega < self.context:
-            # Cross-server case: sound to accept because writes are
-            # synchronous (see module docstring).
-            self.stats.fetch_check_failures += 1
-            version.advance_omega(self.context)
-        self._advance_context(version.alpha)
-        entry = self.cache.get(version.obj)
-        if entry is None:
-            self.cache[version.obj] = CacheEntry(version, fetched_at=self.sim.now)
-        else:
-            entry.refresh(version, self.sim.now)
-
     def _on_still_valid(self, message: Message) -> None:
         obj = message.payload["obj"]
-        omega = message.payload["omega"]
         pending = self._pending.pop(message.payload.get("req"), None)
-        entry = self.cache.get(obj)
-        value = None
-        if entry is not None:
-            entry.version.advance_omega(omega)
-            entry.old = False
-            value = entry.version.value
+        _, value = self.engine.apply_still_valid(obj, message.payload["omega"])
         if pending is not None:
             self.stats.revalidated += 1
             self._complete_read(pending, value)
 
-    def _on_write_ack(self, message: Message) -> None:
+    def _on_ack(self, message: Message) -> None:
         pending: Optional[_PendingWrite] = self._pending.pop(
             message.payload["req"], None
         )
@@ -337,16 +324,7 @@ class TimedCacheClient(Node, _RetryMixin):
             return  # duplicate ack from a retransmitted write
         alpha = message.payload["alpha"]
         true_time = message.payload["true_time"]
-        version = PhysicalVersion(
-            pending.obj, pending.value, alpha, alpha, self.node_id
-        )
-        # Rule 2: Context_i := X_i_alpha := t (install time).
-        self._advance_context(alpha)
-        entry = self.cache.get(pending.obj)
-        if entry is None:
-            self.cache[pending.obj] = CacheEntry(version, fetched_at=self.sim.now)
-        else:
-            entry.refresh(version, self.sim.now)
+        self.engine.apply_write_ack(pending.obj, pending.value, alpha, self.sim.now)
         if self.recorder is not None:
             self.recorder.record_write(
                 self.node_id, pending.obj, pending.value, true_time,
@@ -354,25 +332,32 @@ class TimedCacheClient(Node, _RetryMixin):
             )
         pending.event.succeed(alpha)
 
+    def _on_batch_ack(self, message: Message) -> None:
+        pending: Optional[_PendingBatch] = self._pending.pop(
+            message.payload["req"], None
+        )
+        if pending is None:
+            return  # duplicate ack from a retransmitted batch
+        true_time = message.payload["true_time"]
+        alphas: List[float] = []
+        for (obj, value), ack in zip(pending.writes, message.payload["acks"]):
+            alpha = ack["alpha"]
+            self.engine.apply_write_ack(obj, value, alpha, self.sim.now)
+            if self.recorder is not None:
+                self.recorder.record_write(
+                    self.node_id, obj, value, true_time,
+                    start=pending.issued_at, end=self.sim.now,
+                )
+            alphas.append(alpha)
+        pending.event.succeed(alphas)
+
     def _on_push(self, message: Message) -> None:
-        version: PhysicalVersion = message.payload["version"]
-        self.stats.pushes += 1
-        entry = self.cache.get(version.obj)
-        if entry is None or version.alpha > entry.version.alpha:
-            self._install_fetched(version)
+        self.engine.apply_push(message.payload["version"], self.sim.now)
 
     def _on_invalidate(self, message: Message) -> None:
-        obj = message.payload["obj"]
-        alpha = message.payload["alpha"]
-        self.stats.push_invalidations += 1
-        entry = self.cache.get(obj)
-        if entry is not None and entry.version.alpha < alpha:
-            if self.staleness_action is StalenessAction.INVALIDATE:
-                del self.cache[obj]
-                self.stats.invalidations += 1
-            else:
-                entry.mark_old()
-                self.stats.marked_old += 1
+        self.engine.apply_invalidate(
+            message.payload["obj"], message.payload["alpha"]
+        )
 
     # -- helpers --------------------------------------------------------------
 
@@ -397,7 +382,8 @@ class TimedCacheClient(Node, _RetryMixin):
 
 class CausalCacheClient(Node, _RetryMixin):
     """Vector-clock lifetime cache: CC when ``delta`` is infinite,
-    TCC(delta) otherwise (via the checking time ``beta``)."""
+    TCC(delta) otherwise (via the checking time ``beta``) — the
+    simulator driver over :class:`repro.engine.CausalCacheEngine`."""
 
     def __init__(
         self,
@@ -428,59 +414,95 @@ class CausalCacheClient(Node, _RetryMixin):
         idea [41]); see :class:`TimedCacheClient`.
         """
         super().__init__(node_id, sim, network, clock)
-        if delta < 0:
-            raise ValueError(f"delta must be non-negative, got {delta}")
         if retry_timeout is not None and retry_timeout <= 0:
             raise ValueError(f"retry_timeout must be positive, got {retry_timeout}")
-        if delta_overrides and any(d < 0 for d in delta_overrides.values()):
-            raise ValueError("delta overrides must be non-negative")
         self.directory = directory
-        self.delta = delta
-        self.delta_overrides = dict(delta_overrides or {})
-        self.staleness_action = staleness_action
         self.recorder = recorder
         self.retry_timeout = retry_timeout
-        self.vclock = lclock if lclock is not None else VectorClock(slot, vector_width)
-        self.cache: Dict[str, CacheEntry] = {}
-        self.context = (
-            zero_timestamp
-            if zero_timestamp is not None
-            else VectorTimestamp.zero(vector_width)
-        )
         self.stats = ClientStats()
+        self.engine = CausalCacheEngine(
+            site_id=node_id,
+            vclock=lclock if lclock is not None else VectorClock(slot, vector_width),
+            zero_timestamp=(
+                zero_timestamp
+                if zero_timestamp is not None
+                else VectorTimestamp.zero(vector_width)
+            ),
+            delta=delta, staleness_action=staleness_action,
+            delta_overrides=delta_overrides, stats=self.stats,
+        )
         self._requests = itertools.count()
         self._pending: Dict[int, Any] = {}
+
+    # -- engine state, exposed under the pre-refactor names --------------------
+
+    @property
+    def cache(self) -> Dict[str, CacheEntry]:
+        return self.engine.cache
+
+    @property
+    def context(self):
+        return self.engine.context
+
+    @context.setter
+    def context(self, value) -> None:
+        self.engine.context = value
+
+    @property
+    def vclock(self):
+        return self.engine.vclock
+
+    @property
+    def delta(self) -> float:
+        return self.engine.delta
+
+    @property
+    def delta_overrides(self) -> Dict[str, float]:
+        return self.engine.delta_overrides
+
+    @property
+    def staleness_action(self) -> StalenessAction:
+        return self.engine.staleness_action
+
+    def delta_for(self, obj: str) -> float:
+        """The freshness bound in force for ``obj``."""
+        return self.engine.delta_for(obj)
+
+    def usable_snapshot(self) -> Dict[str, LogicalVersion]:
+        """The versions this cache would serve right now, per object."""
+        return self.engine.usable_snapshot(self.local_time())
+
+    def snapshot_mutually_consistent(self) -> bool:
+        """Section 5.1's invariant under logical lifetimes (see
+        :meth:`repro.engine.CausalCacheEngine.snapshot_mutually_consistent`)."""
+        return self.engine.snapshot_mutually_consistent(self.local_time())
 
     # -- public operation API ----------------------------------------------
 
     def read(self, obj: str) -> Event:
         """Start a read; the returned event succeeds with the value."""
         self.stats.reads += 1
-        entry = self.cache.get(obj)
+        decision = self.engine.lookup(obj, self.local_time())
         event = self.sim.event()
-        if entry is not None and self._usable(entry):
-            entry.hits += 1
-            self.stats.fresh_hits += 1
+        if decision.hit:
             self.stats.read_latencies.append(0.0)
-            self._record_read(obj, entry.version.value)
-            event.succeed(entry.version.value)
+            self._record_read(obj, decision.value)
+            event.succeed(decision.value)
             return event
         req = next(self._requests)
         issued = self.sim.now
-        if entry is not None:
-            self.stats.validations += 1
+        if decision.action == "validate":
             self._pending[req] = _PendingRead(obj, event, issued, True)
             payload = {
                 "obj": obj,
-                "alpha": entry.version.alpha,
-                "context": self.context,
+                "alpha": decision.alpha,
+                "context": self.engine.context,
                 "req": req,
             }
             send = lambda: self._send_server(obj, messages.VALIDATE, payload)
         else:
-            self.stats.fetches += 1
             self._pending[req] = _PendingRead(obj, event, issued, False)
-            payload = {"obj": obj, "context": self.context, "req": req}
+            payload = {"obj": obj, "context": self.engine.context, "req": req}
             send = lambda: self._send_server(obj, messages.FETCH, payload)
         send()
         self._arm_retry(req, send)
@@ -494,85 +516,19 @@ class CausalCacheClient(Node, _RetryMixin):
         logical clocks: ``Context_i := alpha := local logical time``).
         """
         self.stats.writes += 1
-        alpha = self.vclock.tick()
-        self.context = self.context.join(alpha)
-        issue_time = self.local_time()
-        version = LogicalVersion(
-            obj, value, alpha=alpha, omega=alpha, writer=self.node_id,
-            beta=issue_time, birth=issue_time,
+        version = self.engine.local_write(
+            obj, value, birth=self.local_time(), fetched_at=self.sim.now
         )
-        # Local copies advance with the local logical clock and are never
-        # invalidated by a local update (Section 5.3).
-        for entry in self.cache.values():
-            entry.version.advance_omega(alpha)
-        entry = self.cache.get(obj)
-        if entry is None:
-            self.cache[obj] = CacheEntry(version.copy(), fetched_at=self.sim.now)
-        else:
-            entry.refresh(version.copy(), self.sim.now)
         event = self.sim.event()
         req = next(self._requests)
-        self._pending[req] = _PendingWrite(obj, value, event, self.sim.now, ltime=alpha)
+        self._pending[req] = _PendingWrite(
+            obj, value, event, self.sim.now, ltime=version.alpha
+        )
         payload = {"version": version, "req": req}
         send = lambda: self._send_server(obj, messages.WRITE, payload)
         send()
         self._arm_retry(req, send)
         return event
-
-    # -- protocol rules -----------------------------------------------------
-
-    def delta_for(self, obj: str) -> float:
-        """The freshness bound in force for ``obj``."""
-        return self.delta_overrides.get(obj, self.delta)
-
-    def _usable(self, entry: CacheEntry) -> bool:
-        """No messages needed iff the entry is not old, its ending time has
-        not fallen causally behind Context_i, and (TCC only) its checking
-        time is within the object's delta of the local clock."""
-        if entry.old:
-            return False
-        if entry.version.omega_causally_before(self.context):
-            return False
-        bound = self.delta_for(entry.version.obj)
-        if not math.isinf(bound):
-            beta = entry.version.beta or 0.0
-            if beta < self.local_time() - bound:
-                return False
-        return True
-
-    def usable_snapshot(self) -> Dict[str, LogicalVersion]:
-        """The versions this cache would serve right now, per object."""
-        return {
-            obj: entry.version
-            for obj, entry in self.cache.items()
-            if self._usable(entry)
-        }
-
-    def snapshot_mutually_consistent(self) -> bool:
-        """Section 5.1's invariant under logical lifetimes: no usable
-        entry's start time is causally after another's ending time (their
-        lifetimes overlap in the causal order, possibly concurrently)."""
-        versions = list(self.usable_snapshot().values())
-        for a in versions:
-            for b in versions:
-                if a is b:
-                    continue
-                if b.omega.compare(a.alpha) is Ordering.BEFORE:
-                    return False
-        return True
-
-    def _sweep(self) -> None:
-        """Invalidate (or mark old) entries causally behind Context_i."""
-        for obj, entry in list(self.cache.items()):
-            if entry.old:
-                continue
-            if entry.version.omega_causally_before(self.context):
-                if self.staleness_action is StalenessAction.INVALIDATE:
-                    del self.cache[obj]
-                    self.stats.invalidations += 1
-                else:
-                    entry.mark_old()
-                    self.stats.marked_old += 1
 
     # -- message handling ----------------------------------------------------
 
@@ -582,7 +538,7 @@ class CausalCacheClient(Node, _RetryMixin):
         elif message.kind == messages.STILL_VALID:
             self._on_still_valid(message)
         elif message.kind == messages.WRITE_ACK:
-            self._on_write_ack(message)
+            self._on_ack(message)
         elif message.kind == messages.PUSH:
             self._on_push(message)
         elif message.kind == messages.INVALIDATE:
@@ -593,60 +549,30 @@ class CausalCacheClient(Node, _RetryMixin):
     def _on_version(self, message: Message) -> None:
         version: LogicalVersion = message.payload["version"]
         pending = self._pending.pop(message.payload.get("req"), None)
-        self._install_fetched(version)
+        self.engine.install_fetched(version, self.sim.now)
         if pending is not None:
             if pending.was_validation:
                 self.stats.refreshed += 1
             self._complete_read(pending, version.value)
 
-    def _install_fetched(self, version: LogicalVersion) -> None:
-        """Rule 1 adapted: Context_i := join(alpha, Context_i); sweep.
-
-        The server already stamped ``omega = alpha join our_context`` (the
-        paper's "ending time not causally before Context_i" requirement),
-        so the check below only fires for pushes or for contexts that grew
-        while the request was in flight; such a version is accepted but
-        left with its smaller omega, so the next access revalidates it.
-        """
-        if version.omega.compare(self.context) is Ordering.BEFORE:
-            self.stats.fetch_check_failures += 1
-        self.vclock.merge(version.alpha)
-        self.context = self.context.join(version.alpha)
-        self._sweep()
-        entry = self.cache.get(version.obj)
-        if entry is None:
-            self.cache[version.obj] = CacheEntry(version, fetched_at=self.sim.now)
-        else:
-            entry.refresh(version, self.sim.now)
-
     def _on_still_valid(self, message: Message) -> None:
         obj = message.payload["obj"]
         pending = self._pending.pop(message.payload.get("req"), None)
-        entry = self.cache.get(obj)
-        value = None
-        if entry is not None:
-            entry.version.advance_omega(message.payload["omega"])
-            beta = message.payload.get("beta")
-            if beta is not None:
-                entry.version.advance_beta(beta)
-            entry.old = False
-            value = entry.version.value
+        _, value = self.engine.apply_still_valid(
+            obj, message.payload["omega"], message.payload.get("beta")
+        )
         if pending is not None:
             self.stats.revalidated += 1
             self._complete_read(pending, value)
 
-    def _on_write_ack(self, message: Message) -> None:
+    def _on_ack(self, message: Message) -> None:
         pending: Optional[_PendingWrite] = self._pending.pop(
             message.payload["req"], None
         )
         if pending is None:
             return  # duplicate ack from a retransmitted write
         true_time = message.payload["true_time"]
-        entry = self.cache.get(pending.obj)
-        if entry is not None:
-            beta = message.payload.get("beta")
-            if beta is not None:
-                entry.version.advance_beta(beta)
+        self.engine.apply_write_beta(pending.obj, message.payload.get("beta"))
         if self.recorder is not None:
             self.recorder.record_write(
                 self.node_id, pending.obj, pending.value, true_time,
@@ -655,24 +581,12 @@ class CausalCacheClient(Node, _RetryMixin):
         pending.event.succeed(None)
 
     def _on_push(self, message: Message) -> None:
-        version: LogicalVersion = message.payload["version"]
-        self.stats.pushes += 1
-        entry = self.cache.get(version.obj)
-        if entry is None or version.alpha.compare(entry.version.alpha) is Ordering.AFTER:
-            self._install_fetched(version)
+        self.engine.apply_push(message.payload["version"], self.sim.now)
 
     def _on_invalidate(self, message: Message) -> None:
-        obj = message.payload["obj"]
-        alpha: VectorTimestamp = message.payload["alpha"]
-        self.stats.push_invalidations += 1
-        entry = self.cache.get(obj)
-        if entry is not None and entry.version.alpha.compare(alpha) is Ordering.BEFORE:
-            if self.staleness_action is StalenessAction.INVALIDATE:
-                del self.cache[obj]
-                self.stats.invalidations += 1
-            else:
-                entry.mark_old()
-                self.stats.marked_old += 1
+        self.engine.apply_invalidate(
+            message.payload["obj"], message.payload["alpha"]
+        )
 
     # -- helpers --------------------------------------------------------------
 

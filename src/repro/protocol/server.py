@@ -13,20 +13,38 @@ its objects and answers:
   version;
 * ``WRITE`` — install a client's write-through if it is newer than the
   stored version (physical: larger start time wins; causal: causally later
-  wins, with a deterministic total tiebreak for concurrent writes).
+  wins, with a deterministic total tiebreak for concurrent writes);
+* ``WRITE_BATCH`` / ``VALIDATE_BATCH`` — many writes/validations in one
+  message, per-item acks (the sim stack shares the TCP stack's batching
+  now that both drive the same engine).
+
+The protocol logic lives in the transport-free engines of
+:mod:`repro.engine`; the classes here are the *simulator drivers*: they
+translate :class:`~repro.sim.network.Message` payloads into engine
+frames, run them through the engine, and turn the resulting
+:class:`~repro.engine.effects.EngineResult` into simulator sends
+(propagation first, then the reply — preserving the simulator's
+historical event order).  The TCP driver
+(:class:`repro.net.server.NetObjectServer`) runs the *same* engine,
+which is what the conformance suite asserts.
+
+Requests are executed **exactly once**: the engine's LRU reply cache —
+keyed ``(client, req)`` — replays answered requests, so a retransmitted
+write (even with several writes outstanding, where the old one-deep
+per-client memo failed) is installed once and every retransmission
+returns the original ``alpha``.
 
 Optional *push propagation* (Section 5.2's asynchronous component): on
-install, push the fresh version — or a small invalidation, per policy — to
-every subscribed client.
+install, push the fresh version — or a small invalidation, per policy —
+to every subscribed client.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
-from repro.clocks.base import Ordering
-from repro.clocks.vector import VectorTimestamp
+from repro.engine import CausalServerEngine, ServerEngine
 from repro.protocol import messages
 from repro.protocol.versions import LogicalVersion, PhysicalVersion
 from repro.sim.kernel import Simulator
@@ -93,7 +111,14 @@ class ObjectDirectory:
 
 
 class PhysicalServer(Node):
-    """Authoritative store for the SC/TSC (physical-clock) protocols."""
+    """Authoritative store for the SC/TSC (physical-clock) protocols —
+    the simulator driver over :class:`repro.engine.ServerEngine`."""
+
+    #: Frame kinds this driver accepts (anything else is a harness bug).
+    HANDLED = frozenset({
+        messages.FETCH, messages.VALIDATE, messages.WRITE,
+        messages.WRITE_BATCH, messages.VALIDATE_BATCH,
+    })
 
     def __init__(
         self,
@@ -103,19 +128,39 @@ class PhysicalServer(Node):
         initial_value: Any = 0,
         push_policy: PushPolicy = PushPolicy.NONE,
         clock=None,
+        reply_cache_size: int = 1024,
     ) -> None:
         super().__init__(node_id, sim, network, clock)
         self.initial_value = initial_value
         self.push_policy = push_policy
-        self.store: Dict[str, PhysicalVersion] = {}
+        self.engine = ServerEngine(
+            self.local_time, initial_value=initial_value,
+            reply_cache_size=reply_cache_size,
+            wall=lambda: self.sim.now,
+        )
         self.subscribers: List[int] = []
-        self.writes_installed = 0
-        self.writes_discarded = 0
-        # At-most-once write processing: clients have one outstanding
-        # write, so remembering the last (req, ack) per client suffices to
-        # answer retransmissions without re-installing (a re-install after
-        # an interleaved competing write would resurrect the old value).
-        self._last_write_ack: Dict[int, tuple] = {}
+
+    # -- engine state, exposed under the pre-refactor names --------------------
+
+    @property
+    def store(self) -> Dict[str, PhysicalVersion]:
+        return self.engine.store
+
+    @property
+    def writes_installed(self) -> int:
+        return self.engine.writes_installed
+
+    @property
+    def writes_discarded(self) -> int:
+        return self.engine.writes_discarded
+
+    @property
+    def requests(self) -> int:
+        return self.engine.requests
+
+    @property
+    def dedup_replays(self) -> int:
+        return self.engine.dedup_replays
 
     def subscribe(self, client_id: int) -> None:
         if client_id not in self.subscribers:
@@ -123,82 +168,62 @@ class PhysicalServer(Node):
 
     def current_version(self, obj: str) -> PhysicalVersion:
         """The stored version, materializing the initial value on demand."""
-        if obj not in self.store:
-            self.store[obj] = PhysicalVersion(
-                obj, self.initial_value, alpha=0.0, omega=0.0, writer=-1
-            )
-        version = self.store[obj]
-        version.advance_omega(self.local_time())
-        return version
+        return self.engine.current(obj)
+
+    # -- message handling ------------------------------------------------------
 
     def on_message(self, message: Message) -> None:
-        handler = {
-            messages.FETCH: self._on_fetch,
-            messages.VALIDATE: self._on_validate,
-            messages.WRITE: self._on_write,
-        }.get(message.kind)
-        if handler is None:
+        if message.kind not in self.HANDLED:
             raise ValueError(f"{self!r} cannot handle {message.kind}")
-        handler(message)
-
-    def _reply(self, message: Message, kind: str, payload: Dict[str, Any]) -> None:
-        payload = dict(payload)
-        payload["req"] = message.payload.get("req")
-        self.send(message.src, kind, payload, size=messages.size_of(kind))
-
-    def _on_fetch(self, message: Message) -> None:
-        obj = message.payload["obj"]
-        version = self.current_version(obj)
-        self._reply(message, messages.VERSION, {"version": version.copy()})
-
-    def _on_validate(self, message: Message) -> None:
-        obj = message.payload["obj"]
-        alpha = message.payload["alpha"]
-        version = self.current_version(obj)
-        if version.alpha == alpha:
-            self._reply(
-                message, messages.STILL_VALID, {"obj": obj, "omega": version.omega}
-            )
-        else:
-            self._reply(message, messages.VERSION, {"version": version.copy()})
-
-    def _on_write(self, message: Message) -> None:
-        incoming: PhysicalVersion = message.payload["version"]
-        req = message.payload.get("req")
-        remembered = self._last_write_ack.get(message.src)
-        if remembered is not None and remembered[0] == req:
-            self.send(message.src, messages.WRITE_ACK, dict(remembered[1]),
-                      size=messages.size_of(messages.WRITE_ACK))
+        frame = self._frame(message)
+        key = self.engine.dedup_key(message.src, frame)
+        cached = self.engine.replay(key)
+        if cached is not None:
+            # A retransmission of an answered request: replay the
+            # original reply (same alpha / true_time), execute nothing —
+            # in particular, never re-install (a re-install after an
+            # interleaved competing write would resurrect the old value).
+            self._send_reply(message.src, cached)
             return
-        # The install instant is the write's effective time: the server
-        # re-stamps the version with its own clock, which makes the start
-        # times of an object's installed versions monotone.
-        install_time = self.local_time()
-        current = self.store.get(incoming.obj)
-        installed = current is None or install_time > current.alpha
-        if installed:
-            stored = PhysicalVersion(
-                incoming.obj, incoming.value, install_time, install_time,
-                incoming.writer,
-            )
-            self.store[incoming.obj] = stored
-            self.writes_installed += 1
-            self._propagate(stored, exclude=message.src)
-        else:
-            # An equally-stamped concurrent write already holds the slot;
-            # the loser's writer keeps its value cached locally, which is
-            # fine for SC: that client's reads serialize earlier.
-            self.writes_discarded += 1
-        ack = {
-            "obj": incoming.obj,
-            "alpha": install_time,
-            "installed": installed,
-            "true_time": self.sim.now,
-            "req": req,
-        }
-        self._last_write_ack[message.src] = (req, ack)
-        self.send(message.src, messages.WRITE_ACK, dict(ack),
-                  size=messages.size_of(messages.WRITE_ACK))
+        result = self.engine.execute(message.src, frame)
+        # Propagate before the ack: the simulator's historical event
+        # order, which timed-consistency checkers of push traces rely on.
+        for version in result.installed:
+            self._propagate(version, exclude=message.src)
+        self._send_reply(message.src, result.reply)
+
+    def _frame(self, message: Message) -> Dict[str, Any]:
+        """Translate a simulator payload into an engine frame."""
+        payload = message.payload
+        if message.kind == messages.WRITE and "version" in payload:
+            # Legacy write shape: the client shipped a stamped version
+            # object.  The engine re-stamps on install anyway, so only
+            # the object name and value survive the translation.
+            version: PhysicalVersion = payload["version"]
+            return {
+                "kind": messages.WRITE, "obj": version.obj,
+                "value": version.value, "req": payload.get("req"),
+            }
+        return {"kind": message.kind, **{k: v for k, v in payload.items()}}
+
+    def _send_reply(self, dst: int, reply: Dict[str, Any]) -> None:
+        """Translate an engine reply frame into a simulator message.
+
+        The engine speaks JSON scalars (shared with the TCP wire); the
+        simulator's clients historically receive version *objects*, so
+        ``version`` frames are re-materialized here.
+        """
+        kind = str(reply["kind"])
+        payload = {k: v for k, v in reply.items() if k != "kind"}
+        if kind == messages.VERSION:
+            payload = {
+                "version": PhysicalVersion(
+                    reply["obj"], reply["value"], reply["alpha"],
+                    reply["omega"], reply["writer"],
+                ),
+                "req": reply.get("req"),
+            }
+        self.send(dst, kind, payload, size=messages.size_of(kind))
 
     def _propagate(self, version: PhysicalVersion, exclude: int) -> None:
         if self.push_policy is PushPolicy.NONE:
@@ -223,21 +248,18 @@ class PhysicalServer(Node):
 
 
 class CausalServer(Node):
-    """Authoritative store for the CC/TCC (logical-clock) protocols.
+    """Authoritative store for the CC/TCC (logical-clock) protocols —
+    the simulator driver over :class:`repro.engine.CausalServerEngine`.
 
-    The server keeps a running *knowledge* vector — the join of every
-    timestamp it has seen.  A fetched version's ending time is
-    ``alpha join requester_context``: because writes are synchronous and
-    each object has a single home server, every write to the object that
-    lies in the requester's causal past is already installed here, so the
-    current version is valid with respect to the requester's entire
-    context.  (Using the server's global knowledge instead would be
-    unsound: it contains entries for unrelated clients' activity, which
-    makes the ending time spuriously concurrent with later contexts and
-    lets a cache serve a value that a causally newer same-object write
-    should have superseded.)  The checking time ``beta`` is the server's
-    physical now.
+    See that engine's docstring for the knowledge-vector / ending-time
+    soundness argument; this class only moves messages.
     """
+
+    HANDLED = frozenset({messages.FETCH, messages.VALIDATE, messages.WRITE})
+
+    #: The supersession rule (install-order last-writer-wins for
+    #: concurrent writes) — lives on the engine, aliased here.
+    _wins = staticmethod(CausalServerEngine._wins)
 
     def __init__(
         self,
@@ -249,130 +271,80 @@ class CausalServer(Node):
         push_policy: PushPolicy = PushPolicy.NONE,
         clock=None,
         zero_timestamp=None,
+        reply_cache_size: int = 1024,
     ) -> None:
         super().__init__(node_id, sim, network, clock)
         self.initial_value = initial_value
         self.push_policy = push_policy
         self.vector_width = vector_width
-        self.zero_timestamp = (
-            zero_timestamp
-            if zero_timestamp is not None
-            else VectorTimestamp.zero(vector_width)
+        self.engine = CausalServerEngine(
+            self.local_time, vector_width=vector_width,
+            initial_value=initial_value, zero_timestamp=zero_timestamp,
+            reply_cache_size=reply_cache_size,
+            wall=lambda: self.sim.now,
         )
-        self.knowledge = self.zero_timestamp
-        self.store: Dict[str, LogicalVersion] = {}
         self.subscribers: List[int] = []
-        self.writes_installed = 0
-        self.writes_discarded = 0
-        self._last_write_ack: Dict[int, tuple] = {}
+
+    # -- engine state, exposed under the pre-refactor names --------------------
+
+    @property
+    def store(self) -> Dict[str, LogicalVersion]:
+        return self.engine.store
+
+    @property
+    def knowledge(self):
+        return self.engine.knowledge
+
+    @property
+    def zero_timestamp(self):
+        return self.engine.zero_timestamp
+
+    @property
+    def writes_installed(self) -> int:
+        return self.engine.writes_installed
+
+    @property
+    def writes_discarded(self) -> int:
+        return self.engine.writes_discarded
+
+    @property
+    def requests(self) -> int:
+        return self.engine.requests
+
+    @property
+    def dedup_replays(self) -> int:
+        return self.engine.dedup_replays
 
     def subscribe(self, client_id: int) -> None:
         if client_id not in self.subscribers:
             self.subscribers.append(client_id)
 
     def current_version(
-        self, obj: str, requester_context: Optional[VectorTimestamp] = None
+        self, obj: str, requester_context=None
     ) -> LogicalVersion:
-        """A *copy* of the stored version, tailored to the requester.
+        """A *copy* of the stored version, tailored to the requester."""
+        return self.engine.current(obj, requester_context)
 
-        The stored version's own ending time stays at its start time; the
-        reply copy's ending time is ``alpha join requester_context``.
-        Accumulating contexts into the stored version would leak one
-        client's causal past into another's ending time and break the
-        soundness argument above.
-        """
-        if obj not in self.store:
-            zero = self.zero_timestamp
-            self.store[obj] = LogicalVersion(
-                obj, self.initial_value, alpha=zero, omega=zero, writer=-1,
-                beta=0.0,
-            )
-        stored = self.store[obj]
-        stored.advance_beta(self.local_time())
-        reply = stored.copy()
-        if requester_context is not None:
-            reply.advance_omega(requester_context)
-        return reply
+    # -- message handling ------------------------------------------------------
 
     def on_message(self, message: Message) -> None:
-        handler = {
-            messages.FETCH: self._on_fetch,
-            messages.VALIDATE: self._on_validate,
-            messages.WRITE: self._on_write,
-        }.get(message.kind)
-        if handler is None:
+        if message.kind not in self.HANDLED:
             raise ValueError(f"{self!r} cannot handle {message.kind}")
-        handler(message)
-
-    def _reply(self, message: Message, kind: str, payload: Dict[str, Any]) -> None:
-        payload = dict(payload)
-        payload["req"] = message.payload.get("req")
-        self.send(message.src, kind, payload, size=messages.size_of(kind))
-
-    def _on_fetch(self, message: Message) -> None:
-        obj = message.payload["obj"]
-        version = self.current_version(obj, message.payload.get("context"))
-        self._reply(message, messages.VERSION, {"version": version.copy()})
-
-    def _on_validate(self, message: Message) -> None:
-        obj = message.payload["obj"]
-        alpha: VectorTimestamp = message.payload["alpha"]
-        version = self.current_version(obj, message.payload.get("context"))
-        if version.alpha == alpha:
-            self._reply(
-                message,
-                messages.STILL_VALID,
-                {"obj": obj, "omega": version.omega, "beta": version.beta},
-            )
-        else:
-            self._reply(message, messages.VERSION, {"version": version.copy()})
-
-    @staticmethod
-    def _wins(incoming: LogicalVersion, current: LogicalVersion) -> bool:
-        """Does the incoming write supersede the stored one?
-
-        Causally later always wins; causally older (a stale retransmit,
-        impossible with synchronous writes) loses.  A *concurrent* incoming
-        write wins: each object has a single home server, so arrival order
-        is a total install order, and the install instant is the write's
-        effective time.  Install-order last-writer-wins keeps the stored
-        version the effectively-latest write, which is what makes the TCC
-        delta bound hold — if the effectively-older concurrent write could
-        stay installed, every future read of it would miss the newer one
-        forever, violating Definition 2 by more than the clock precision.
-        """
-        order = incoming.alpha.compare(current.alpha)
-        return order is Ordering.AFTER or order is Ordering.CONCURRENT
-
-    def _on_write(self, message: Message) -> None:
-        incoming: LogicalVersion = message.payload["version"]
-        req = message.payload.get("req")
-        remembered = self._last_write_ack.get(message.src)
-        if remembered is not None and remembered[0] == req:
-            self.send(message.src, messages.WRITE_ACK, dict(remembered[1]),
-                      size=messages.size_of(messages.WRITE_ACK))
+        frame = {"kind": message.kind, **message.payload}
+        key = self.engine.dedup_key(message.src, frame)
+        cached = self.engine.replay(key)
+        if cached is not None:
+            self._send_reply(message.src, cached)
             return
-        self.knowledge = self.knowledge.join(incoming.alpha)
-        current = self.store.get(incoming.obj)
-        installed = current is None or self._wins(incoming, current)
-        if installed:
-            stored = incoming.copy()
-            stored.advance_beta(self.local_time())
-            self.store[incoming.obj] = stored
-            self.writes_installed += 1
-            self._propagate(stored, exclude=message.src)
-        else:
-            self.writes_discarded += 1
-        ack = {
-            "obj": incoming.obj,
-            "installed": installed,
-            "beta": self.local_time(),
-            "true_time": self.sim.now,
-            "req": req,
-        }
-        self._last_write_ack[message.src] = (req, ack)
-        self.send(message.src, messages.WRITE_ACK, dict(ack),
-                  size=messages.size_of(messages.WRITE_ACK))
+        result = self.engine.execute(message.src, frame)
+        for version in result.installed:
+            self._propagate(version, exclude=message.src)
+        self._send_reply(message.src, result.reply)
+
+    def _send_reply(self, dst: int, reply: Dict[str, Any]) -> None:
+        kind = str(reply["kind"])
+        payload = {k: v for k, v in reply.items() if k != "kind"}
+        self.send(dst, kind, payload, size=messages.size_of(kind))
 
     def _propagate(self, version: LogicalVersion, exclude: int) -> None:
         if self.push_policy is PushPolicy.NONE:

@@ -10,6 +10,11 @@ simulation — the recorded executions pass the same checkers — at the cost
 of timing precision (wall-clock scheduling jitter), which is why the
 quantitative experiments stay on the simulator.
 
+Both halves drive the shared engines of :mod:`repro.engine` — the same
+:class:`~repro.engine.ServerEngine` install/validate logic and
+:class:`~repro.engine.CacheEngine` lifetime rules that the simulator and
+TCP stacks run — wrapped here in asyncio latency and locking only.
+
 The clock is ``loop.time()`` rebased to 0 at session start; all deltas
 and latencies are in (real) seconds, so keep them small in tests.
 """
@@ -22,48 +27,50 @@ from typing import Any, Awaitable, Callable, Dict, Optional, Tuple
 
 from repro.clocks.rebase import RebasedClock
 from repro.core.history import History
+from repro.engine import CacheEngine, ServerEngine
 from repro.protocol.stats import ClientStats
 from repro.protocol.versions import CacheEntry, PhysicalVersion
 from repro.sim.trace import TraceRecorder, UniqueValueFactory
 
 
 class AioObjectServer:
-    """Authoritative in-process store with injected request latency."""
+    """Authoritative in-process store with injected request latency —
+    an asyncio driver over :class:`repro.engine.ServerEngine`."""
 
     def __init__(self, latency: float = 0.002, initial_value: Any = 0) -> None:
         if latency < 0:
             raise ValueError(f"latency must be non-negative, got {latency}")
         self.latency = latency
         self.initial_value = initial_value
-        self.store: Dict[str, PhysicalVersion] = {}
         self._lock = asyncio.Lock()
-        self._clock: Callable[[], float] = lambda: 0.0
-        self.requests = 0
+        self.engine = ServerEngine(lambda: 0.0, initial_value=initial_value)
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
-        self._clock = clock
+        self.engine.clock = clock
+
+    @property
+    def store(self) -> Dict[str, PhysicalVersion]:
+        return self.engine.store
+
+    @property
+    def requests(self) -> int:
+        return self.engine.requests
 
     def _current(self, obj: str) -> PhysicalVersion:
-        if obj not in self.store:
-            self.store[obj] = PhysicalVersion(
-                obj, self.initial_value, alpha=0.0, omega=0.0, writer=-1
-            )
-        version = self.store[obj]
-        version.advance_omega(self._clock())
-        return version
+        return self.engine.current(obj)
 
     async def fetch(self, obj: str) -> PhysicalVersion:
         await asyncio.sleep(self.latency)
         async with self._lock:
-            self.requests += 1
-            return self._current(obj).copy()
+            self.engine.requests += 1
+            return self.engine.current(obj).copy()
 
     async def validate(self, obj: str, alpha: float):
         """Returns ``("valid", omega)`` or ``("version", version)``."""
         await asyncio.sleep(self.latency)
         async with self._lock:
-            self.requests += 1
-            version = self._current(obj)
+            self.engine.requests += 1
+            version = self.engine.current(obj)
             if version.alpha == alpha:
                 return ("valid", version.omega)
             return ("version", version.copy())
@@ -78,17 +85,14 @@ class AioObjectServer:
         """
         await asyncio.sleep(self.latency)
         async with self._lock:
-            self.requests += 1
-            install_time = self._clock()
-            version = PhysicalVersion(obj, value, install_time, install_time, writer)
-            current = self.store.get(obj)
-            if current is None or install_time > current.alpha:
-                self.store[obj] = version.copy()
+            self.engine.requests += 1
+            version, _ = self.engine.install(obj, value, writer)
             return version
 
 
 class AioTimedCacheClient:
-    """The TSC cache client (rules 1-3) over asyncio."""
+    """The TSC cache client (rules 1-3) over asyncio — a driver over
+    :class:`repro.engine.CacheEngine`."""
 
     def __init__(
         self,
@@ -98,51 +102,44 @@ class AioTimedCacheClient:
         delta: float = math.inf,
         recorder: Optional[TraceRecorder] = None,
     ) -> None:
-        if delta < 0:
-            raise ValueError(f"delta must be non-negative, got {delta}")
         self.client_id = client_id
         self.server = server
         self.clock = clock
-        self.delta = delta
         self.recorder = recorder
-        self.cache: Dict[str, CacheEntry] = {}
-        self.context = 0.0
         self.stats = ClientStats()
+        self.engine = CacheEngine(site_id=client_id, delta=delta, stats=self.stats)
 
-    def _advance_context(self, candidate: float) -> None:
-        if candidate <= self.context:
-            return
-        self.context = candidate
-        for entry in self.cache.values():
-            if entry.version.omega < self.context:
-                entry.mark_old()
+    @property
+    def cache(self) -> Dict[str, CacheEntry]:
+        return self.engine.cache
+
+    @property
+    def context(self) -> float:
+        return self.engine.context
+
+    @property
+    def delta(self) -> float:
+        return self.engine.delta
 
     async def read(self, obj: str) -> Any:
         self.stats.reads += 1
-        if not math.isinf(self.delta):
-            self._advance_context(self.clock() - self.delta)
-        entry = self.cache.get(obj)
-        if entry is not None and not entry.old and entry.version.omega >= self.context:
-            self.stats.fresh_hits += 1
-            value = entry.version.value
-            self._record_read(obj, value)
-            return value
-        if entry is not None:
-            self.stats.validations += 1
-            kind, payload = await self.server.validate(obj, entry.version.alpha)
+        self.engine.rule3(self.clock())
+        decision = self.engine.lookup(obj, None)
+        if decision.hit:
+            self._record_read(obj, decision.value)
+            return decision.value
+        if decision.action == "validate":
+            kind, payload = await self.server.validate(obj, decision.alpha)
             if kind == "valid":
-                entry.version.advance_omega(payload)
-                entry.old = False
+                _, value = self.engine.apply_still_valid(obj, payload)
                 self.stats.revalidated += 1
-                value = entry.version.value
             else:
-                self._install(payload)
+                self.engine.install_fetched(payload, self.clock())
                 self.stats.refreshed += 1
                 value = payload.value
         else:
-            self.stats.fetches += 1
             version = await self.server.fetch(obj)
-            self._install(version)
+            self.engine.install_fetched(version, self.clock())
             value = version.value
         self._record_read(obj, value)
         return value
@@ -150,26 +147,10 @@ class AioTimedCacheClient:
     async def write(self, obj: str, value: Any) -> float:
         self.stats.writes += 1
         version = await self.server.write(obj, value, self.client_id)
-        self._advance_context(version.alpha)
-        entry = self.cache.get(obj)
-        if entry is None:
-            self.cache[obj] = CacheEntry(version, fetched_at=self.clock())
-        else:
-            entry.refresh(version, self.clock())
+        self.engine.apply_write_ack(obj, value, version.alpha, self.clock())
         if self.recorder is not None:
             self.recorder.record_write(self.client_id, obj, value, version.alpha)
         return version.alpha
-
-    def _install(self, version: PhysicalVersion) -> None:
-        if version.omega < self.context:
-            self.stats.fetch_check_failures += 1
-            version.advance_omega(self.context)
-        self._advance_context(version.alpha)
-        entry = self.cache.get(version.obj)
-        if entry is None:
-            self.cache[version.obj] = CacheEntry(version, fetched_at=self.clock())
-        else:
-            entry.refresh(version, self.clock())
 
     def _record_read(self, obj: str, value: Any) -> None:
         if self.recorder is not None:
